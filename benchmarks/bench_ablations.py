@@ -1,0 +1,66 @@
+"""Extension ablations for the design choices DESIGN.md calls out.
+
+Three studies beyond the paper's own tables:
+
+* batching sensitivity — how much of Strix's throughput comes from
+  core-level batching as the available ciphertext parallelism varies;
+* bootstrapping-key unrolling — Matcha's iteration-reduction technique
+  layered on the Strix datapath (the paper argues against it implicitly);
+* energy per PBS — the power model combined with the throughput model,
+  compared against nominal CPU/GPU board power.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.batch_sensitivity import batch_sensitivity_study
+from repro.analysis.energy_comparison import energy_comparison
+from repro.analysis.parameter_sweep import parameter_sweep
+from repro.analysis.unrolling_ablation import unrolling_ablation
+from repro.params import PARAM_SET_I
+
+
+def test_ablation_batch_sensitivity(benchmark, save_result):
+    study = benchmark(batch_sensitivity_study, PARAM_SET_I)
+
+    large = [point for point in study.points if point.available_ciphertexts >= 64]
+    assert all(point.core_batching_gain > 1.1 for point in large)
+    assert all(point.strix_pbs_per_s > point.gpu_pbs_per_s for point in study.points)
+
+    save_result("ablation_batch_sensitivity", study.render())
+
+
+def test_ablation_key_unrolling(benchmark, save_result):
+    study = benchmark(unrolling_ablation, PARAM_SET_I)
+
+    # The paper's design choice (no unrolling) is the largest compute-bound point.
+    assert study.best_compute_bound_factor() == 1
+    by_factor = {point.unroll_factor: point for point in study.points}
+    assert by_factor[4].throughput_pbs_per_s < by_factor[1].throughput_pbs_per_s
+    assert by_factor[4].bootstrapping_key_mb > by_factor[1].bootstrapping_key_mb
+
+    save_result("ablation_key_unrolling", study.render())
+
+
+def test_ablation_energy_per_pbs(benchmark, save_result):
+    study = benchmark(energy_comparison)
+
+    for row in study.rows:
+        assert row.strix_mj < row.gpu_mj < row.cpu_mj
+    assert study.rows[0].gain_vs_gpu > 37
+
+    save_result("ablation_energy", study.render())
+
+
+def test_ablation_parameter_sensitivity(benchmark, save_result):
+    sweep = benchmark(parameter_sweep)
+
+    # Throughput falls monotonically with N for a fixed decomposition level.
+    for lb in (2, 3, 4):
+        points = sorted(
+            (p for p in sweep.points if p.decomposition_levels == lb),
+            key=lambda p: p.polynomial_degree,
+        )
+        throughputs = [p.throughput_pbs_per_s for p in points]
+        assert throughputs == sorted(throughputs, reverse=True)
+
+    save_result("ablation_parameter_sweep", sweep.render())

@@ -1,0 +1,25 @@
+"""Fig. 1 — CPU workload breakdown of a TFHE gate.
+
+Regenerates the three nested breakdowns (gate, PBS, blind-rotation
+iteration) from the operation-count CPU model and checks the headline
+proportions the paper quotes: ~65 % PBS / ~30 % keyswitch at the gate level
+and ~98 % blind rotation inside PBS.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdown import cpu_workload_breakdown
+from repro.params import PARAM_SET_I
+
+
+def test_fig1_cpu_workload_breakdown(benchmark, save_result):
+    report = benchmark(cpu_workload_breakdown, PARAM_SET_I)
+
+    assert 0.55 <= report.gate_shares["pbs"] <= 0.75
+    assert 0.20 <= report.gate_shares["keyswitch"] <= 0.40
+    assert report.pbs_shares["blind_rotation"] >= 0.96
+    assert report.blind_rotation_shares["fft"] == max(
+        report.blind_rotation_shares.values()
+    )
+
+    save_result("fig1_breakdown", report.render())

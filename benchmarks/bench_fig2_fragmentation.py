@@ -1,0 +1,34 @@
+"""Fig. 2 — blind-rotation fragmentation on the GPU.
+
+Regenerates both curves: the device-level batching staircase (kernel time
+steps up every 72 ciphertexts) and the linear growth of emulated core-level
+batching on the GPU, plus the Strix two-level batching comparison that
+motivates the architecture.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fragmentation import gpu_fragmentation_study, strix_batching_study
+from repro.params import PARAM_SET_I
+
+
+def test_fig2_gpu_fragmentation(benchmark, save_result):
+    study = benchmark(gpu_fragmentation_study, PARAM_SET_I, 288, 8, 3)
+
+    by_count = {point.ciphertexts: point for point in study.device_level}
+    assert by_count[72].normalized_time == 1.0
+    assert by_count[144].normalized_time == 2.0
+    assert by_count[216].normalized_time == 3.0
+    assert by_count[288].normalized_time == 4.0
+    core_level = [point.normalized_time for point in study.core_level]
+    assert core_level == [1.0, 2.0, 3.0]
+
+    comparisons = strix_batching_study([72, 144, 288, 784, 2048], PARAM_SET_I)
+    lines = [study.render(), "", "Two-level batching comparison (set I):",
+             "  #LWE   GPU batch  GPU frag   Strix batch  Strix frag  reduction"]
+    for row in comparisons:
+        lines.append(
+            f"  {row.ciphertexts:5d}   {row.gpu_batch_size:9d}  {row.gpu_fragments:8d}   "
+            f"{row.strix_batch_size:11d}  {row.strix_fragments:10d}  {row.fragment_reduction:8.1f}x"
+        )
+    save_result("fig2_fragmentation", "\n".join(lines))

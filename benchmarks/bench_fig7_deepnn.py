@@ -1,0 +1,29 @@
+"""Fig. 7 — Zama Deep-NN application benchmark.
+
+Regenerates the full sweep (NN-20 / NN-50 / NN-100 at N = 1024 / 2048 / 4096)
+on the CPU, GPU and Strix models and checks the paper's qualitative results:
+Strix is always fastest, speedups over the CPU land in the tens and the
+advantage grows with the workload size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.deep_nn_benchmark import deep_nn_benchmark
+
+
+def test_fig7_deep_nn(benchmark, save_result):
+    result = benchmark(deep_nn_benchmark)
+
+    for entry in result.results:
+        assert entry.strix_time_ms < entry.gpu_time_ms < entry.cpu_time_ms
+
+    cpu_low, cpu_high = result.speedup_range_vs_cpu()
+    gpu_low, gpu_high = result.speedup_range_vs_gpu()
+    assert 20 <= cpu_low <= cpu_high <= 80
+    assert 5 <= gpu_low <= gpu_high <= 25
+
+    # The advantage grows with heavier workloads (larger N).
+    nn20 = {entry.polynomial_degree: entry for entry in result.results if entry.model == "NN-20"}
+    assert nn20[4096].speedup_vs_cpu >= nn20[1024].speedup_vs_cpu
+
+    save_result("fig7_deep_nn", result.render())

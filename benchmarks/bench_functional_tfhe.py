@@ -1,0 +1,66 @@
+"""Library micro-benchmarks: the functional TFHE substrate itself.
+
+These are not paper figures; they measure the Python library's own hot paths
+(negacyclic transforms, external products, full PBS on the test parameters)
+so regressions in the functional substrate are caught by the benchmark run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fft.folding import FoldedNegacyclicTransform
+from repro.fft.negacyclic import NegacyclicTransform
+from repro.params import TOY_PARAMETERS
+from repro.tfhe.context import TFHEContext
+from repro.tfhe.ggsw import GgswCiphertext
+from repro.tfhe.glwe import GlweCiphertext
+
+
+@pytest.fixture(scope="module")
+def context():
+    ctx = TFHEContext(TOY_PARAMETERS, seed=7)
+    ctx.generate_server_keys()
+    return ctx
+
+
+def test_bench_folded_transform_1024(benchmark):
+    transform = FoldedNegacyclicTransform(1024)
+    rng = np.random.default_rng(0)
+    poly = rng.integers(0, 2 ** 32, 1024).astype(np.int64)
+    spectrum = benchmark(transform.forward, poly)
+    assert spectrum.shape == (512,)
+
+
+def test_bench_full_transform_1024(benchmark):
+    transform = NegacyclicTransform(1024)
+    rng = np.random.default_rng(0)
+    poly = rng.integers(0, 2 ** 32, 1024).astype(np.int64)
+    spectrum = benchmark(transform.forward, poly)
+    assert spectrum.shape == (1024,)
+
+
+def test_bench_external_product(benchmark, context):
+    params = context.params
+    rng = np.random.default_rng(1)
+    message = np.zeros(params.N, dtype=np.int64)
+    message[0] = params.delta
+    glwe = GlweCiphertext.encrypt(message, context.glwe_key.polynomials, params, rng)
+    ggsw = GgswCiphertext.encrypt(1, context.glwe_key.polynomials, params, rng).to_fourier()
+    result = benchmark(ggsw.external_product, glwe)
+    assert result.body.shape == (params.N,)
+
+
+def test_bench_programmable_bootstrap(benchmark, context):
+    ciphertext = context.encrypt(2)
+    result = benchmark(context.programmable_bootstrap, ciphertext, lambda m: m)
+    assert context.decrypt(result.ciphertext) == 2
+
+
+def test_bench_gate_bootstrap(benchmark, context):
+    gates = context.gates()
+    a = context.encrypt_boolean(True)
+    b = context.encrypt_boolean(False)
+    result = benchmark(gates.nand, a, b)
+    assert context.decrypt_boolean(result) is True

@@ -1,0 +1,44 @@
+"""Library micro-benchmarks: the cycle-level simulator.
+
+Measures the cost of scheduling representative workload graphs on the Strix
+model, so the simulator itself stays fast enough for parameter sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.deep_nn import ZAMA_DEEP_NN_MODELS, build_deep_nn_graph
+from repro.apps.workloads import pbs_batch_graph
+from repro.arch.accelerator import StrixAccelerator
+from repro.params import DEEP_NN_N1024, PARAM_SET_I
+from repro.sim.scheduler import StrixScheduler
+
+
+@pytest.fixture(scope="module")
+def scheduler():
+    return StrixScheduler(StrixAccelerator())
+
+
+def test_bench_schedule_pbs_batch(benchmark, scheduler):
+    graph = pbs_batch_graph(PARAM_SET_I, 4096)
+    result = benchmark(scheduler.run, graph)
+    assert result.total_pbs == 4096
+
+
+def test_bench_schedule_deep_nn_100(benchmark, scheduler):
+    graph = build_deep_nn_graph(ZAMA_DEEP_NN_MODELS["NN-100"], DEEP_NN_N1024)
+    result = benchmark(scheduler.run, graph)
+    assert result.total_pbs == ZAMA_DEEP_NN_MODELS["NN-100"].pbs_count()
+
+
+def test_bench_pbs_performance_sweep(benchmark):
+    from repro.params import PAPER_PARAMETER_SETS
+
+    accelerator = StrixAccelerator()
+
+    def sweep():
+        return [accelerator.pbs_performance(p) for p in PAPER_PARAMETER_SETS.values()]
+
+    results = benchmark(sweep)
+    assert len(results) == 4

@@ -1,0 +1,20 @@
+"""Table III — Strix area and power breakdown.
+
+Regenerates the per-component breakdown from the area/power model and checks
+the totals against the paper's synthesis results (141.37 mm^2, 77.14 W).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import area_power_table, render_area_power_table
+
+
+def test_table3_area_power(benchmark, save_result):
+    cost = benchmark(area_power_table)
+
+    assert abs(cost.total_area_mm2 - 141.37) / 141.37 < 0.05
+    assert abs(cost.total_power_w - 77.14) / 77.14 < 0.07
+    assert abs(cost.core_area_mm2 - 9.38) / 9.38 < 0.05
+    assert cost.component("Global scratchpad").area_mm2 > cost.component("HBM2 PHY").area_mm2
+
+    save_result("table3_area_power", render_area_power_table(cost))

@@ -1,0 +1,26 @@
+"""Table V — PBS latency and throughput across platforms.
+
+Regenerates the cross-platform comparison (Concrete CPU, NuFHE GPU, YKP,
+XHEC, Matcha, Strix) for parameter sets I-IV and checks the headline
+speedups: >1000x over CPU, tens of times over GPU and ~7.4x over Matcha.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import pbs_comparison_table
+
+
+def test_table5_pbs_comparison(benchmark, save_result):
+    table = benchmark(pbs_comparison_table)
+
+    assert 900 <= table.speedup_over("Concrete", "I") <= 1300
+    assert 25 <= table.speedup_over("NuFHE", "I") <= 55
+    assert 6.5 <= table.speedup_over("Matcha", "I") <= 8.5
+
+    strix_i = table.strix_row("I")
+    assert strix_i.latency_ms < 0.25
+    assert strix_i.throughput_pbs_per_s > 70000
+    strix_iv = table.strix_row("IV")
+    assert strix_iv.throughput_pbs_per_s > 2000
+
+    save_result("table5_pbs_comparison", table.render())

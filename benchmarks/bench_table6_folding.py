@@ -1,0 +1,22 @@
+"""Table VI — FFT folding optimization effects.
+
+Regenerates the folded vs non-folded Strix comparison on parameter set I and
+checks the improvement factors against the paper (1.68x latency, 1.99x
+throughput, 1.73x FFT area, 1.48x core area).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.folding_ablation import folding_ablation
+from repro.params import PARAM_SET_I
+
+
+def test_table6_fft_folding(benchmark, save_result):
+    ablation = benchmark(folding_ablation, PARAM_SET_I)
+
+    assert 1.5 <= ablation.latency_improvement <= 2.1
+    assert 1.9 <= ablation.throughput_improvement <= 2.1
+    assert 1.6 <= ablation.fft_area_improvement <= 1.85
+    assert 1.35 <= ablation.core_area_improvement <= 1.65
+
+    save_result("table6_folding", ablation.render())

@@ -1,0 +1,27 @@
+"""Table VII — TvLP vs CLP trade-off under a fixed 300 GB/s HBM budget.
+
+Regenerates the five-way sweep on parameter set IV and checks the paper's
+conclusions: bandwidth demand grows with CLP, high-CLP points become memory
+bound and lose throughput, and TvLP=8 / CLP=4 is the sweet spot.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tradeoffs import tvlp_clp_tradeoff
+from repro.params import PARAM_SET_IV
+
+
+def test_table7_tvlp_clp_tradeoff(benchmark, save_result):
+    study = benchmark(tvlp_clp_tradeoff, PARAM_SET_IV)
+
+    spot = study.sweet_spot()
+    assert (spot.tvlp, spot.clp) == (8, 4)
+
+    by_clp = {point.clp: point for point in study.points}
+    assert not by_clp[4].memory_bound
+    assert by_clp[32].memory_bound
+    assert by_clp[32].required_bandwidth_gbps > 1000
+    assert by_clp[32].throughput_pbs_per_s < 0.5 * by_clp[4].throughput_pbs_per_s
+    assert by_clp[2].latency_ms > by_clp[4].latency_ms
+
+    save_result("table7_tvlp_clp", study.render())

@@ -1,0 +1,61 @@
+"""Design-space exploration with the Strix architecture model.
+
+Uses the cycle-level model to answer the questions a hardware architect
+would ask before committing to a design point: how fast is each parameter
+set (Table V), what does the chip cost (Table III), what does FFT folding
+buy (Table VI), where is the compute/memory-bound boundary (Table VII) and
+what does the pipeline actually do cycle by cycle (Fig. 8).
+
+Run with:  python examples/accelerator_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.folding_ablation import folding_ablation
+from repro.analysis.tables import (
+    area_power_table,
+    pbs_comparison_table,
+    render_area_power_table,
+)
+from repro.analysis.tradeoffs import tvlp_clp_tradeoff
+from repro.arch.accelerator import StrixAccelerator
+from repro.arch.config import StrixConfig
+from repro.params import PAPER_PARAMETER_SETS, PARAM_SET_I
+from repro.sim.trace import build_occupancy_trace
+
+
+def main() -> None:
+    accelerator = StrixAccelerator()
+
+    print("== PBS microbenchmark (Table V) ==")
+    print(pbs_comparison_table(accelerator).render())
+
+    print("\n== Chip cost (Table III) ==")
+    print(render_area_power_table(area_power_table(accelerator)))
+
+    print("\n== FFT folding ablation (Table VI) ==")
+    print(folding_ablation(PARAM_SET_I).render())
+
+    print("\n== TvLP vs CLP trade-off (Table VII) ==")
+    print(tvlp_clp_tradeoff().render())
+
+    print("\n== Functional-unit occupancy, set I, 3 LWEs/core (Fig. 8) ==")
+    print(build_occupancy_trace(accelerator, PARAM_SET_I, lwes_per_core=3, iterations=2).render())
+
+    print("\n== What-if: a half-bandwidth, four-core budget variant ==")
+    budget = StrixAccelerator(
+        StrixConfig(tvlp=4, hbm_bandwidth_gbps=150.0, global_scratchpad_mb=12.0)
+    )
+    for name, params in PAPER_PARAMETER_SETS.items():
+        perf = budget.pbs_performance(params)
+        print(
+            f"  set {name:3s}: {perf.throughput_pbs_per_s:10,.0f} PBS/s, "
+            f"{perf.latency_ms:7.2f} ms latency, "
+            f"{'memory' if not perf.compute_bound else 'compute'}-bound"
+        )
+    cost = budget.chip_cost()
+    print(f"  chip cost: {cost.total_area_mm2:.1f} mm^2, {cost.total_power_w:.1f} W")
+
+
+if __name__ == "__main__":
+    main()

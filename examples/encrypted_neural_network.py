@@ -1,0 +1,66 @@
+"""Encrypted neural-network inference — the paper's motivating workload.
+
+Two views of the Zama Deep-NN scenario (Section VI-C, Fig. 7):
+
+1. A *functional* homomorphic MLP running on the TFHE substrate: every
+   activation is computed with a real programmable bootstrap (kept tiny so
+   pure Python finishes quickly).
+2. The *performance* view: the full NN-20 / NN-50 / NN-100 models as
+   computation graphs executed on the Strix simulator and the CPU / GPU
+   baseline models — the data behind Fig. 7.
+
+Run with:  python examples/encrypted_neural_network.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.deep_nn_benchmark import deep_nn_benchmark
+from repro.apps.deep_nn import EncryptedMLP, ZAMA_DEEP_NN_MODELS
+from repro.params import DEEP_NN_PARAMETER_SETS, TOY_PARAMETERS
+from repro.tfhe import TFHEContext
+
+
+def functional_inference() -> None:
+    """Run a real (tiny) homomorphic MLP end to end."""
+    print("== Functional homomorphic inference (TOY parameters) ==")
+    context = TFHEContext(TOY_PARAMETERS, seed=11)
+    context.generate_server_keys()
+    mlp = EncryptedMLP(context, layer_sizes=[4, 3, 2], weight_magnitude=1, seed=5)
+
+    inputs = [1, 0, 1, 1]
+    start = time.perf_counter()
+    encrypted_outputs = mlp.infer(inputs)
+    elapsed = time.perf_counter() - start
+    reference = mlp.infer_plaintext(inputs)
+
+    pbs_count = sum(mlp.layer_sizes[1:])
+    print(f"inputs:             {inputs}")
+    print(f"encrypted inference: {encrypted_outputs}  ({pbs_count} PBS, {elapsed:.2f} s)")
+    print(f"plaintext reference: {reference}")
+    print(f"match: {encrypted_outputs == reference}\n")
+
+
+def performance_projection() -> None:
+    """Project the full Deep-NN models onto Strix and the baselines."""
+    print("== Fig. 7 projection: Zama Deep-NN on CPU / GPU / Strix ==")
+    result = deep_nn_benchmark(
+        models=ZAMA_DEEP_NN_MODELS, parameter_sets=DEEP_NN_PARAMETER_SETS
+    )
+    print(result.render())
+    cpu_low, cpu_high = result.speedup_range_vs_cpu()
+    gpu_low, gpu_high = result.speedup_range_vs_gpu()
+    print(
+        f"\nStrix evaluates an encrypted {ZAMA_DEEP_NN_MODELS['NN-100'].depth}-layer network "
+        f"{cpu_high:.0f}x faster than the CPU baseline and {gpu_high:.0f}x faster than the GPU."
+    )
+
+
+def main() -> None:
+    functional_inference()
+    performance_projection()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: encrypt, compute homomorphically, bootstrap, decrypt.
+
+Runs on the fast TOY parameter set so the whole script finishes in a couple
+of seconds.  It walks through the core TFHE capabilities the paper relies
+on: encrypted arithmetic, programmable bootstrapping of an arbitrary
+univariate function, and gate bootstrapping.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.params import TOY_PARAMETERS
+from repro.tfhe import TFHEContext
+from repro.tfhe.lut import LookUpTable
+
+
+def main() -> None:
+    print("== Strix reproduction quickstart ==")
+    print(f"Parameter set: {TOY_PARAMETERS.describe()}\n")
+
+    # 1. Key generation -------------------------------------------------------
+    start = time.perf_counter()
+    context = TFHEContext(TOY_PARAMETERS, seed=42)
+    keys = context.generate_server_keys()
+    print(
+        f"Key generation took {time.perf_counter() - start:.2f} s "
+        f"(evaluation keys: {keys.total_bytes / 1024:.0f} KiB)"
+    )
+
+    # 2. Encrypted arithmetic --------------------------------------------------
+    a, b = 1, 2
+    ct_a, ct_b = context.encrypt(a), context.encrypt(b)
+    ct_sum = ct_a + ct_b
+    print(f"Enc({a}) + Enc({b}) decrypts to {context.decrypt(ct_sum)}")
+
+    # 3. Programmable bootstrapping --------------------------------------------
+    p = TOY_PARAMETERS.message_modulus
+    square = LookUpTable.from_function(lambda m: (m * m) % p, TOY_PARAMETERS)
+    start = time.perf_counter()
+    ct_square = context.apply_lut(context.encrypt(3), square)
+    elapsed = time.perf_counter() - start
+    print(f"PBS computed 3^2 mod {p} = {context.decrypt(ct_square)} in {elapsed * 1e3:.1f} ms")
+
+    # Any univariate function works: evaluate a threshold during bootstrapping.
+    is_large = context.programmable_bootstrap(context.encrypt(2), lambda m: 1 if m >= 2 else 0)
+    print(f"threshold(2 >= 2) = {context.decrypt(is_large.ciphertext)}")
+
+    # 4. Gate bootstrapping -----------------------------------------------------
+    gates = context.gates()
+    x = context.encrypt_boolean(True)
+    y = context.encrypt_boolean(False)
+    print(f"NAND(True, False) = {context.decrypt_boolean(gates.nand(x, y))}")
+    print(f"XOR(True, False)  = {context.decrypt_boolean(gates.xor(x, y))}")
+    print(f"MUX(True, x=True, y=False) = {context.decrypt_boolean(gates.mux(x, x, y))}")
+
+    print("\nEvery gate output above was produced by a programmable bootstrap —")
+    print("the operation Strix accelerates by 1,067x over a CPU (see the benchmarks/).")
+
+
+if __name__ == "__main__":
+    main()

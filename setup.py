@@ -1,0 +1,4 @@
+"""Setup shim so editable installs work without network access to fetch wheel."""
+from setuptools import setup
+
+setup()

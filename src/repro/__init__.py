@@ -1,0 +1,46 @@
+"""Strix reproduction library.
+
+A from-scratch Python reproduction of "Strix: An End-to-End Streaming
+Architecture with Two-Level Ciphertext Batching for Fully Homomorphic
+Encryption with Programmable Bootstrapping" (MICRO 2023):
+
+* :mod:`repro.tfhe` — a functional TFHE implementation (LWE/GLWE/GGSW,
+  blind rotation, programmable bootstrapping, keyswitching, gates, LUTs).
+* :mod:`repro.fft` — negacyclic FFT transforms including the folding scheme.
+* :mod:`repro.arch` — the Strix accelerator model (functional units, HSC
+  pipeline, memory system, area/power).
+* :mod:`repro.sim` — the cycle-level simulation framework (computation
+  graphs, blind-rotation fragments, epoch scheduling, occupancy traces).
+* :mod:`repro.baselines` — CPU / GPU analytical models and published
+  FPGA/ASIC reference points.
+* :mod:`repro.apps` — Zama Deep-NN, boolean circuits and workload generators.
+* :mod:`repro.analysis` — the experiments reproducing every table and figure
+  of the paper's evaluation.
+"""
+
+from repro.params import (
+    PAPER_PARAMETER_SETS,
+    PARAM_SET_I,
+    PARAM_SET_II,
+    PARAM_SET_III,
+    PARAM_SET_IV,
+    SMALL_PARAMETERS,
+    TOY_PARAMETERS,
+    TFHEParameters,
+    get_parameters,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TFHEParameters",
+    "PAPER_PARAMETER_SETS",
+    "PARAM_SET_I",
+    "PARAM_SET_II",
+    "PARAM_SET_III",
+    "PARAM_SET_IV",
+    "TOY_PARAMETERS",
+    "SMALL_PARAMETERS",
+    "get_parameters",
+    "__version__",
+]

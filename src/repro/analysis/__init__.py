@@ -1,0 +1,52 @@
+"""Analysis layer: the experiments of Section VI.
+
+Each module reproduces one table or figure of the paper's evaluation, built
+on top of the architecture model, the simulator and the baseline models:
+
+* :mod:`repro.analysis.breakdown` — Fig. 1, CPU workload breakdown.
+* :mod:`repro.analysis.fragmentation` — Fig. 2, GPU blind-rotation
+  fragmentation and the two-level batching remedy.
+* :mod:`repro.analysis.tables` — Table III (area/power) and Table V (PBS
+  latency/throughput across platforms).
+* :mod:`repro.analysis.folding_ablation` — Table VI, FFT folding effects.
+* :mod:`repro.analysis.tradeoffs` — Table VII, TvLP vs CLP sweep.
+* :mod:`repro.analysis.deep_nn_benchmark` — Fig. 7, Zama Deep-NN execution
+  time on CPU / GPU / Strix.
+
+Beyond the paper's own evaluation, three extension studies probe the design
+choices the paper argues for:
+
+* :mod:`repro.analysis.batch_sensitivity` — throughput vs available
+  ciphertext parallelism (the value of core-level batching).
+* :mod:`repro.analysis.unrolling_ablation` — bootstrapping-key unrolling
+  (Matcha's technique) layered on the Strix datapath.
+* :mod:`repro.analysis.energy_comparison` — energy per PBS vs CPU / GPU.
+* :mod:`repro.analysis.parameter_sweep` — sensitivity to the TFHE parameters
+  (polynomial degree, decomposition level).
+"""
+
+from repro.analysis.breakdown import cpu_workload_breakdown
+from repro.analysis.fragmentation import gpu_fragmentation_study, strix_batching_study
+from repro.analysis.folding_ablation import folding_ablation
+from repro.analysis.tradeoffs import tvlp_clp_tradeoff
+from repro.analysis.tables import area_power_table, pbs_comparison_table
+from repro.analysis.deep_nn_benchmark import deep_nn_benchmark
+from repro.analysis.batch_sensitivity import batch_sensitivity_study
+from repro.analysis.unrolling_ablation import unrolling_ablation
+from repro.analysis.energy_comparison import energy_comparison
+from repro.analysis.parameter_sweep import parameter_sweep
+
+__all__ = [
+    "cpu_workload_breakdown",
+    "gpu_fragmentation_study",
+    "strix_batching_study",
+    "folding_ablation",
+    "tvlp_clp_tradeoff",
+    "area_power_table",
+    "pbs_comparison_table",
+    "deep_nn_benchmark",
+    "batch_sensitivity_study",
+    "unrolling_ablation",
+    "energy_comparison",
+    "parameter_sweep",
+]

@@ -1,0 +1,114 @@
+"""Ablation: how throughput depends on the available ciphertext parallelism.
+
+The whole premise of two-level batching is that applications expose many
+independent ciphertexts per dependency level (Section IV-C sizes an epoch at
+``device batch x core batch``).  This study sweeps the number of ciphertexts
+available per level and reports the achieved PBS throughput on Strix, on a
+hypothetical Strix without core-level batching (each HSC holds a single LWE,
+the device-level-only design the GPU approximates), and on the GPU model —
+quantifying how much of Strix's advantage comes from each batching level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.accelerator import StrixAccelerator
+from repro.baselines.gpu_model import NuFheGpuModel
+from repro.params import PARAM_SET_I, TFHEParameters
+from repro.sim.fragments import fragmented_execution_time
+
+
+@dataclass(frozen=True)
+class BatchSensitivityPoint:
+    """Achieved throughput at one level of available parallelism."""
+
+    available_ciphertexts: int
+    strix_pbs_per_s: float
+    device_only_pbs_per_s: float
+    gpu_pbs_per_s: float
+
+    @property
+    def core_batching_gain(self) -> float:
+        """Throughput gain attributable to core-level batching."""
+        if self.device_only_pbs_per_s == 0:
+            return float("inf")
+        return self.strix_pbs_per_s / self.device_only_pbs_per_s
+
+
+@dataclass(frozen=True)
+class BatchSensitivityStudy:
+    """The full sweep."""
+
+    parameter_set: str
+    points: list[BatchSensitivityPoint]
+
+    def saturation_point(self) -> int:
+        """Smallest available-parallelism level reaching 95 % of peak Strix throughput."""
+        peak = max(point.strix_pbs_per_s for point in self.points)
+        for point in self.points:
+            if point.strix_pbs_per_s >= 0.95 * peak:
+                return point.available_ciphertexts
+        return self.points[-1].available_ciphertexts
+
+    def render(self) -> str:
+        """Render the sweep as text."""
+        lines = [
+            f"Throughput vs available ciphertext parallelism (parameter set {self.parameter_set})",
+            f"  {'#LWE':>6} {'Strix (PBS/s)':>15} {'device-only (PBS/s)':>21} "
+            f"{'GPU (PBS/s)':>13} {'core-batching gain':>19}",
+        ]
+        for point in self.points:
+            lines.append(
+                f"  {point.available_ciphertexts:>6} {point.strix_pbs_per_s:>15,.0f} "
+                f"{point.device_only_pbs_per_s:>21,.0f} {point.gpu_pbs_per_s:>13,.0f} "
+                f"{point.core_batching_gain:>18.1f}x"
+            )
+        lines.append(f"  Strix saturates at ~{self.saturation_point()} available ciphertexts")
+        return "\n".join(lines)
+
+
+def batch_sensitivity_study(
+    params: TFHEParameters = PARAM_SET_I,
+    ciphertext_counts: list[int] | None = None,
+    accelerator: StrixAccelerator | None = None,
+) -> BatchSensitivityStudy:
+    """Run the batching-sensitivity sweep."""
+    accelerator = accelerator or StrixAccelerator()
+    gpu = NuFheGpuModel()
+    counts = ciphertext_counts or [1, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+
+    timing = accelerator.pipeline_timing(params)
+    config = accelerator.config
+    points = []
+    for count in counts:
+        # Full Strix: epochs of (device batch x core batch).
+        strix_seconds = config.cycles_to_seconds(accelerator.pbs_batch_cycles(params, count))
+        strix_throughput = count / strix_seconds if strix_seconds else 0.0
+
+        # Device-level batching only: one LWE per HSC per pass, every pass
+        # pays the single-LWE blind-rotation latency plus its (un-hidden)
+        # keyswitch.
+        pass_cycles = (
+            params.n * accelerator.iteration_latency_cycles(params)
+            + accelerator.core.keyswitch_cycles(params)
+        )
+        passes_time = fragmented_execution_time(
+            count, config.tvlp, config.cycles_to_seconds(pass_cycles)
+        )
+        device_only_throughput = count / passes_time if passes_time else 0.0
+
+        gpu_time = fragmented_execution_time(
+            count, gpu.sms, gpu.batch_time_ms(params) / 1e3
+        )
+        gpu_throughput = count / gpu_time if gpu_time else 0.0
+
+        points.append(
+            BatchSensitivityPoint(
+                available_ciphertexts=count,
+                strix_pbs_per_s=strix_throughput,
+                device_only_pbs_per_s=device_only_throughput,
+                gpu_pbs_per_s=gpu_throughput,
+            )
+        )
+    return BatchSensitivityStudy(parameter_set=params.name, points=points)

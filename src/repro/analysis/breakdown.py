@@ -1,0 +1,54 @@
+"""Fig. 1 reproduction: CPU workload breakdown of a TFHE gate.
+
+The paper profiles one gate bootstrap on a single CPU core and reports three
+nested breakdowns: the gate (PBS / keyswitch / other), PBS itself (blind
+rotation vs the rest) and one blind-rotation iteration (rotate, decompose,
+FFT, vector multiply, accumulate + IFFT).  We obtain the same three
+breakdowns from the operation-count CPU model, which is in turn derived from
+the exact operation sequence of our functional TFHE implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.cpu_model import ConcreteCpuModel
+from repro.params import PARAM_SET_I, TFHEParameters
+
+
+@dataclass(frozen=True)
+class BreakdownReport:
+    """The three nested breakdowns of Fig. 1 (shares sum to 1.0 each)."""
+
+    parameter_set: str
+    gate_shares: dict[str, float]
+    pbs_shares: dict[str, float]
+    blind_rotation_shares: dict[str, float]
+
+    def render(self) -> str:
+        """Human readable rendering of the three stacked bars."""
+        lines = [f"TFHE gate workload breakdown on CPU (parameter set {self.parameter_set})"]
+        for title, shares in (
+            ("Gate execution", self.gate_shares),
+            ("PBS", self.pbs_shares),
+            ("Blind-rotation iteration", self.blind_rotation_shares),
+        ):
+            lines.append(f"  {title}:")
+            for name, share in sorted(shares.items(), key=lambda item: -item[1]):
+                bar = "#" * max(int(share * 40), 1)
+                lines.append(f"    {name:<18} {share:6.1%} {bar}")
+        return "\n".join(lines)
+
+
+def cpu_workload_breakdown(
+    params: TFHEParameters = PARAM_SET_I, threads: int = 1
+) -> BreakdownReport:
+    """Compute the Fig. 1 breakdown for a parameter set."""
+    model = ConcreteCpuModel(threads=threads)
+    breakdown = model.workload_breakdown(params)
+    return BreakdownReport(
+        parameter_set=params.name,
+        gate_shares=breakdown.gate_shares,
+        pbs_shares=breakdown.pbs_shares,
+        blind_rotation_shares=breakdown.blind_rotation_shares,
+    )

@@ -1,0 +1,46 @@
+"""Energy-efficiency comparison: joules per PBS on CPU, GPU and Strix.
+
+Not a table in the paper, but the natural companion to Table III and Table V:
+combining the power model with the throughput model gives energy per
+bootstrapping, where Strix's advantage is even larger than its throughput
+advantage because the chip draws a fraction of a GPU's board power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.accelerator import StrixAccelerator
+from repro.arch.energy import EnergyComparison, EnergyModel
+from repro.params import PAPER_PARAMETER_SETS, TFHEParameters
+
+
+@dataclass(frozen=True)
+class EnergyStudy:
+    """Energy per PBS across parameter sets and platforms."""
+
+    rows: list[EnergyComparison]
+
+    def render(self) -> str:
+        """Render the comparison as text."""
+        lines = ["Energy per PBS (mJ) — CPU vs GPU vs Strix"]
+        lines.append(
+            f"  {'Set':<4} {'CPU':>10} {'GPU':>10} {'Strix':>10} {'vs CPU':>9} {'vs GPU':>9}"
+        )
+        for row in self.rows:
+            lines.append(
+                f"  {row.parameter_set:<4} {row.cpu_mj:>10.1f} {row.gpu_mj:>10.1f} "
+                f"{row.strix_mj:>10.3f} {row.gain_vs_cpu:>8.0f}x {row.gain_vs_gpu:>8.0f}x"
+            )
+        return "\n".join(lines)
+
+
+def energy_comparison(
+    parameter_sets: dict[str, TFHEParameters] | None = None,
+    accelerator: StrixAccelerator | None = None,
+) -> EnergyStudy:
+    """Compare energy per PBS across the paper's parameter sets."""
+    parameter_sets = parameter_sets or PAPER_PARAMETER_SETS
+    model = EnergyModel(accelerator)
+    rows = [model.compare_with_baselines(params) for params in parameter_sets.values()]
+    return EnergyStudy(rows=rows)

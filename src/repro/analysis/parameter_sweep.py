@@ -1,0 +1,88 @@
+"""Sensitivity of Strix performance to the TFHE parameters.
+
+Table V fixes four parameter sets; this study varies the two parameters that
+dominate the datapath — the polynomial degree ``N`` and the decomposition
+level ``lb`` — and reports throughput, latency and bandwidth demand, making
+the scaling behaviour behind the streaming model explicit:
+
+* throughput scales as ``1 / (n * ceil((k+1)*lb / PLP) * N)``;
+* the bootstrapping-key fetch per iteration scales as ``(k+1)^2 * lb * N/2``,
+  so large-``N`` / large-``lb`` points drift towards the memory-bound regime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.arch.accelerator import StrixAccelerator
+from repro.params import PARAM_SET_I, TFHEParameters
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Strix performance at one TFHE parameter point."""
+
+    polynomial_degree: int
+    decomposition_levels: int
+    throughput_pbs_per_s: float
+    latency_ms: float
+    required_bandwidth_gbps: float
+    core_batch: int
+
+
+@dataclass(frozen=True)
+class ParameterSweep:
+    """The full (N, lb) sweep."""
+
+    base_set: str
+    points: list[SweepPoint]
+
+    def by_degree(self, degree: int) -> list[SweepPoint]:
+        """All points with a given polynomial degree."""
+        return [point for point in self.points if point.polynomial_degree == degree]
+
+    def render(self) -> str:
+        """Render the sweep as text."""
+        lines = [f"Strix sensitivity to TFHE parameters (based on set {self.base_set})"]
+        lines.append(
+            f"  {'N':>6} {'lb':>3} {'throughput (PBS/s)':>20} {'latency (ms)':>13} "
+            f"{'req. BW (GB/s)':>15} {'core batch':>11}"
+        )
+        for point in self.points:
+            lines.append(
+                f"  {point.polynomial_degree:>6} {point.decomposition_levels:>3} "
+                f"{point.throughput_pbs_per_s:>20,.0f} {point.latency_ms:>13.2f} "
+                f"{point.required_bandwidth_gbps:>15.0f} {point.core_batch:>11}"
+            )
+        return "\n".join(lines)
+
+
+def parameter_sweep(
+    base: TFHEParameters = PARAM_SET_I,
+    degrees: list[int] | None = None,
+    levels: list[int] | None = None,
+    accelerator: StrixAccelerator | None = None,
+) -> ParameterSweep:
+    """Sweep the polynomial degree and decomposition level on the Strix model."""
+    accelerator = accelerator or StrixAccelerator()
+    degrees = degrees or [1024, 2048, 4096, 8192, 16384]
+    levels = levels or [2, 3, 4]
+    points = []
+    for degree in degrees:
+        for lb in levels:
+            params = dataclasses.replace(
+                base, name=f"{base.name}-N{degree}-lb{lb}", N=degree, lb=lb
+            )
+            performance = accelerator.pbs_performance(params)
+            points.append(
+                SweepPoint(
+                    polynomial_degree=degree,
+                    decomposition_levels=lb,
+                    throughput_pbs_per_s=performance.throughput_pbs_per_s,
+                    latency_ms=performance.latency_ms,
+                    required_bandwidth_gbps=performance.required_bandwidth_gbps,
+                    core_batch=performance.core_batch_size,
+                )
+            )
+    return ParameterSweep(base_set=base.name, points=points)

@@ -1,0 +1,133 @@
+"""Ablation: bootstrapping-key unrolling on top of Strix.
+
+Matcha (the prior ASIC the paper compares against) reduces the number of
+blind-rotation iterations by *unrolling*: grouping ``u`` LWE secret bits per
+iteration at the cost of a bootstrapping key that grows as ``2^u - 1`` GGSW
+ciphertexts per group (the paper's related-work discussion, reference [51]).
+Strix deliberately does not use unrolling; this study quantifies what it
+would buy or cost on top of the Strix datapath:
+
+* iterations (and hence both latency and per-LWE compute) shrink by ``~u``;
+* the bootstrapping key, and with it the per-iteration HBM traffic, grows by
+  ``(2^u - 1) / u``, pushing the design towards the memory-bound regime.
+
+The result reproduces the paper's implicit design argument: with a single
+HBM stack, unrolling beyond 2 turns Strix memory bound and the throughput
+gain evaporates, while the key size quickly becomes impractical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.accelerator import StrixAccelerator
+from repro.arch.config import STRIX_DEFAULT, StrixConfig
+from repro.params import PARAM_SET_I, TFHEParameters
+
+
+@dataclass(frozen=True)
+class UnrollingPoint:
+    """Strix with a given bootstrapping-key unrolling factor."""
+
+    unroll_factor: int
+    iterations: int
+    latency_ms: float
+    throughput_pbs_per_s: float
+    required_bandwidth_gbps: float
+    bootstrapping_key_mb: float
+    memory_bound: bool
+
+
+@dataclass(frozen=True)
+class UnrollingStudy:
+    """The unrolling sweep."""
+
+    parameter_set: str
+    available_bandwidth_gbps: float
+    points: list[UnrollingPoint]
+
+    def best_compute_bound_factor(self) -> int:
+        """Largest unrolling factor that stays compute bound."""
+        factors = [point.unroll_factor for point in self.points if not point.memory_bound]
+        return max(factors) if factors else 1
+
+    def render(self) -> str:
+        """Render the sweep as text."""
+        lines = [
+            f"Bootstrapping-key unrolling on Strix (parameter set {self.parameter_set}, "
+            f"{self.available_bandwidth_gbps:.0f} GB/s)",
+            f"  {'u':>3} {'iters':>6} {'latency (ms)':>13} {'throughput (PBS/s)':>20} "
+            f"{'req. BW (GB/s)':>15} {'bsk (MB)':>9} {'bound':>8}",
+        ]
+        for point in self.points:
+            lines.append(
+                f"  {point.unroll_factor:>3} {point.iterations:>6} {point.latency_ms:>13.2f} "
+                f"{point.throughput_pbs_per_s:>20,.0f} {point.required_bandwidth_gbps:>15.0f} "
+                f"{point.bootstrapping_key_mb:>9.0f} "
+                f"{'memory' if point.memory_bound else 'compute':>8}"
+            )
+        lines.append(
+            f"  Largest compute-bound unrolling factor: u={self.best_compute_bound_factor()}"
+        )
+        return "\n".join(lines)
+
+
+def unrolling_ablation(
+    params: TFHEParameters = PARAM_SET_I,
+    unroll_factors: list[int] | None = None,
+    config: StrixConfig = STRIX_DEFAULT,
+) -> UnrollingStudy:
+    """Sweep the bootstrapping-key unrolling factor on the Strix model."""
+    factors = unroll_factors or [1, 2, 3, 4]
+    accelerator = StrixAccelerator(config)
+    timing = accelerator.pipeline_timing(params)
+    base_fragment = accelerator.hbm.global_scratchpad.bootstrapping_key_fragment_bytes(params)
+    demand = accelerator.required_bandwidth(params)
+    non_bsk_traffic = demand.keyswitching_key + demand.ciphertexts
+
+    points = []
+    for factor in factors:
+        iterations = math.ceil(params.n / factor)
+        # Each unrolled iteration consumes (2^u - 1) GGSW ciphertexts instead
+        # of one, so the per-iteration fragment and therefore the fetch rate
+        # grow accordingly while the iteration timing itself is unchanged
+        # (the datapath still performs one external product per GGSW, but the
+        # products of a group share a single accumulator traversal).
+        fragment_bytes = base_fragment * (2 ** factor - 1)
+        iteration_seconds = config.cycles_to_seconds(timing.initiation_interval)
+        bsk_rate_gbps = fragment_bytes / iteration_seconds / 1e9
+        required = bsk_rate_gbps + non_bsk_traffic
+        memory_bound = required > config.hbm_bandwidth_gbps
+        scaling = min(1.0, config.hbm_bandwidth_gbps / required)
+
+        compute_throughput = (
+            config.clock_hz / (iterations * timing.initiation_interval) * config.tvlp
+        )
+        throughput = compute_throughput * scaling
+        latency_cycles = iterations * max(
+            timing.iteration_latency,
+            int(fragment_bytes / (config.hbm_bandwidth_gbps * config.bsk_channels / 16 * 1e9)
+                * config.clock_hz),
+        )
+        key_mb = (
+            params.n / factor * (2 ** factor - 1)
+            * accelerator.hbm.global_scratchpad.bootstrapping_key_fragment_bytes(params)
+            / 2 ** 20
+        )
+        points.append(
+            UnrollingPoint(
+                unroll_factor=factor,
+                iterations=iterations,
+                latency_ms=config.cycles_to_ms(latency_cycles),
+                throughput_pbs_per_s=throughput,
+                required_bandwidth_gbps=required,
+                bootstrapping_key_mb=key_mb,
+                memory_bound=memory_bound,
+            )
+        )
+    return UnrollingStudy(
+        parameter_set=params.name,
+        available_bandwidth_gbps=config.hbm_bandwidth_gbps,
+        points=points,
+    )

@@ -1,0 +1,29 @@
+"""Application workloads.
+
+The workloads the paper motivates and evaluates:
+
+* :mod:`repro.apps.deep_nn` — the Zama Deep-NN models (NN-20 / NN-50 /
+  NN-100) used in the Fig. 7 application benchmark, both as computation
+  graphs for the simulator and as a small functional inference path running
+  on the TFHE substrate.
+* :mod:`repro.apps.boolean_circuits` — gate-level circuits (adders,
+  comparators, multiplexer trees) built from the homomorphic gate set.
+* :mod:`repro.apps.workloads` — generic workload generators (PBS batches,
+  LUT pipelines) used by the microbenchmarks and tests.
+"""
+
+from repro.apps.deep_nn import DeepNNModel, ZAMA_DEEP_NN_MODELS, build_deep_nn_graph
+from repro.apps.boolean_circuits import RippleCarryAdder, Comparator, boolean_circuit_graph
+from repro.apps.workloads import pbs_batch_graph, lut_pipeline_graph, gate_workload_graph
+
+__all__ = [
+    "DeepNNModel",
+    "ZAMA_DEEP_NN_MODELS",
+    "build_deep_nn_graph",
+    "RippleCarryAdder",
+    "Comparator",
+    "boolean_circuit_graph",
+    "pbs_batch_graph",
+    "lut_pipeline_graph",
+    "gate_workload_graph",
+]

@@ -1,0 +1,152 @@
+"""Boolean circuits built from the homomorphic gate set.
+
+TFHE's gate bootstrapping makes arbitrary boolean circuits possible; the
+paper motivates this generality (encrypted CPUs, relational operators).
+This module implements the classic building blocks — ripple-carry adders,
+comparators and multiplexer trees — in two forms:
+
+* functionally, operating on encrypted bits through a
+  :class:`~repro.tfhe.gates.GateBootstrapper` (used by tests and examples);
+* as computation graphs with one PBS per gate (used by the simulator to
+  estimate their execution time on Strix and the baselines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import TFHEParameters
+from repro.sim.graph import ComputationGraph
+from repro.tfhe.gates import GateBootstrapper
+from repro.tfhe.lwe import LweCiphertext
+
+
+@dataclass
+class RippleCarryAdder:
+    """N-bit ripple-carry adder over encrypted bits (little-endian lists)."""
+
+    gates: GateBootstrapper
+
+    def full_adder(
+        self, a: LweCiphertext, b: LweCiphertext, carry: LweCiphertext
+    ) -> tuple[LweCiphertext, LweCiphertext]:
+        """One full adder: returns (sum, carry-out).  Five gate bootstraps."""
+        a_xor_b = self.gates.xor(a, b)
+        total = self.gates.xor(a_xor_b, carry)
+        carry_from_ab = self.gates.and_(a, b)
+        carry_from_axb = self.gates.and_(a_xor_b, carry)
+        carry_out = self.gates.or_(carry_from_ab, carry_from_axb)
+        return total, carry_out
+
+    def add(
+        self, a_bits: list[LweCiphertext], b_bits: list[LweCiphertext]
+    ) -> list[LweCiphertext]:
+        """Add two encrypted numbers; returns ``len(a)+1`` result bits."""
+        if len(a_bits) != len(b_bits):
+            raise ValueError("operands must have the same bit width")
+        params = self.gates.params
+        carry = LweCiphertext.trivial(
+            (params.q - params.q // 8) % params.q, params.n, params
+        )
+        result = []
+        for a_bit, b_bit in zip(a_bits, b_bits):
+            total, carry = self.full_adder(a_bit, b_bit, carry)
+            result.append(total)
+        result.append(carry)
+        return result
+
+    @staticmethod
+    def gate_count(bits: int) -> int:
+        """Gate bootstraps used to add two ``bits``-wide numbers."""
+        return 5 * bits
+
+
+@dataclass
+class Comparator:
+    """Encrypted equality / greater-than comparator (little-endian lists)."""
+
+    gates: GateBootstrapper
+
+    def equals(
+        self, a_bits: list[LweCiphertext], b_bits: list[LweCiphertext]
+    ) -> LweCiphertext:
+        """Return an encryption of ``a == b``."""
+        if len(a_bits) != len(b_bits):
+            raise ValueError("operands must have the same bit width")
+        bit_equal = [self.gates.xnor(a, b) for a, b in zip(a_bits, b_bits)]
+        result = bit_equal[0]
+        for bit in bit_equal[1:]:
+            result = self.gates.and_(result, bit)
+        return result
+
+    def greater_than(
+        self, a_bits: list[LweCiphertext], b_bits: list[LweCiphertext]
+    ) -> LweCiphertext:
+        """Return an encryption of ``a > b`` (unsigned).
+
+        Scans from the most significant bit: ``a > b`` iff at the highest
+        differing position ``a`` has the 1.
+        """
+        if len(a_bits) != len(b_bits):
+            raise ValueError("operands must have the same bit width")
+        params = self.gates.params
+        result = LweCiphertext.trivial(
+            (params.q - params.q // 8) % params.q, params.n, params
+        )
+        for a_bit, b_bit in zip(a_bits, b_bits):
+            # result = (a_bit AND NOT b_bit) OR (result AND (a_bit XNOR b_bit))
+            a_gt_b_here = self.gates.andny(b_bit, a_bit)
+            equal_here = self.gates.xnor(a_bit, b_bit)
+            keep = self.gates.and_(result, equal_here)
+            result = self.gates.or_(a_gt_b_here, keep)
+        return result
+
+    @staticmethod
+    def gate_count_equals(bits: int) -> int:
+        """Gate bootstraps of the equality comparator."""
+        return bits + (bits - 1)
+
+    @staticmethod
+    def gate_count_greater_than(bits: int) -> int:
+        """Gate bootstraps of the greater-than comparator."""
+        return 4 * bits
+
+
+def boolean_circuit_graph(
+    params: TFHEParameters,
+    circuit: str,
+    bits: int,
+    instances: int = 1,
+) -> ComputationGraph:
+    """Computation graph of a boolean circuit for the simulator.
+
+    Parameters
+    ----------
+    params:
+        TFHE parameter set.
+    circuit:
+        ``"adder"``, ``"equals"`` or ``"greater_than"``.
+    bits:
+        Operand bit width.
+    instances:
+        Independent circuit instances evaluated together (this is what the
+        accelerator can batch across).
+    """
+    counts = {
+        "adder": RippleCarryAdder.gate_count(bits),
+        "equals": Comparator.gate_count_equals(bits),
+        "greater_than": Comparator.gate_count_greater_than(bits),
+    }
+    if circuit not in counts:
+        raise ValueError(f"unknown circuit {circuit!r}; expected one of {sorted(counts)}")
+    graph = ComputationGraph(params, name=f"{circuit}-{bits}bit-x{instances}")
+    # A ripple structure has `bits` sequential stages; within a stage the
+    # per-instance gates are independent and batch across instances.
+    gates_per_stage = max(counts[circuit] // bits, 1)
+    previous = None
+    for stage in range(bits):
+        name = f"{circuit}_stage{stage}"
+        depends = [previous] if previous else []
+        graph.add_pbs_layer(name, gates_per_stage * instances, depends_on=depends)
+        previous = name
+    return graph

@@ -1,0 +1,225 @@
+"""Homomorphic decision-tree inference.
+
+The paper motivates TFHE with workloads that CKKS handles poorly:
+comparisons, branches and look-ups — the building blocks of tree-based
+machine-learning models (its reference [41], "Privacy-preserving tree-based
+inference with fully homomorphic encryption").  This module implements a
+small but complete homomorphic decision-tree evaluator:
+
+* every internal node compares an encrypted feature against a plaintext
+  threshold with one programmable bootstrap (a threshold LUT);
+* the comparison bit selects between the two subtree results with a
+  two-PBS multiplexer (the selector bit is packed into the upper half of the
+  message space and a LUT gates each branch), so the decision path never
+  leaks.
+
+Leaf labels are binary (the usual binary-classification setting), which lets
+every intermediate value fit in the 2-bit message space of the evaluation
+parameter sets.  The module also produces the computation graph of a whole
+forest so the simulator can project the workload onto Strix and the
+baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.params import TFHEParameters
+from repro.sim.graph import ComputationGraph
+from repro.tfhe import encoding
+from repro.tfhe.context import TFHEContext
+from repro.tfhe.lut import LookUpTable, threshold_lut
+from repro.tfhe.lwe import LweCiphertext
+
+
+@dataclass
+class DecisionNode:
+    """One internal node: go right when ``feature >= threshold``."""
+
+    feature: int
+    threshold: int
+    left: "DecisionNode | Leaf"
+    right: "DecisionNode | Leaf"
+
+
+@dataclass
+class Leaf:
+    """A leaf holding the predicted class label (0 or 1)."""
+
+    label: int
+
+
+@dataclass
+class DecisionTree:
+    """A plaintext decision tree over integer features in ``[0, p)``."""
+
+    root: DecisionNode | Leaf
+    num_features: int
+
+    def predict(self, features: list[int]) -> int:
+        """Plaintext inference (reference for the homomorphic evaluator)."""
+        node = self.root
+        while isinstance(node, DecisionNode):
+            node = node.right if features[node.feature] >= node.threshold else node.left
+        return node.label
+
+    def depth(self) -> int:
+        """Tree depth (a bare leaf has depth 0)."""
+
+        def _depth(node) -> int:
+            if isinstance(node, Leaf):
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self.root)
+
+    def internal_nodes(self) -> int:
+        """Number of comparison nodes."""
+
+        def _count(node) -> int:
+            if isinstance(node, Leaf):
+                return 0
+            return 1 + _count(node.left) + _count(node.right)
+
+        return _count(self.root)
+
+    @classmethod
+    def random(
+        cls, depth: int, num_features: int, params: TFHEParameters, seed: int = 0
+    ) -> "DecisionTree":
+        """Generate a random complete tree of the given depth."""
+        rng = np.random.default_rng(seed)
+        p = params.message_modulus
+
+        def _build(level: int):
+            if level == 0:
+                return Leaf(int(rng.integers(0, 2)))
+            return DecisionNode(
+                feature=int(rng.integers(0, num_features)),
+                threshold=int(rng.integers(1, p)),
+                left=_build(level - 1),
+                right=_build(level - 1),
+            )
+
+        return cls(root=_build(depth), num_features=num_features)
+
+
+class HomomorphicTreeEvaluator:
+    """Evaluate a plaintext decision tree on encrypted features.
+
+    The client encrypts its feature vector; the server knows the tree in the
+    clear (the usual model-owner / data-owner split) and learns neither the
+    features nor the decision path.  Requires a message space of at least
+    two bits (``p >= 4``) so a selector bit and a branch bit pack together.
+    """
+
+    def __init__(self, context: TFHEContext, tree: DecisionTree):
+        if context.params.message_modulus < 4:
+            raise ValueError("tree evaluation needs a message modulus of at least 4")
+        self.context = context
+        self.tree = tree
+        self.params = context.params
+        p = self.params.message_modulus
+        # LUTs over the packed value s = 2*bit + branch (branch in {0, 1}):
+        #   taken branch:    bit * branch      -> s - 2 when s >= 2 else 0
+        #   untaken branch: (1 - bit) * branch -> s     when s <  2 else 0
+        self._gate_if_set = LookUpTable.from_function(
+            lambda s: (s - 2) % p if s >= 2 else 0, self.params
+        )
+        self._gate_if_clear = LookUpTable.from_function(
+            lambda s: s % p if s < 2 else 0, self.params
+        )
+
+    # -- building blocks ----------------------------------------------------------
+
+    def _compare(self, feature_ct: LweCiphertext, threshold: int) -> LweCiphertext:
+        """Encrypted ``feature >= threshold`` as a 0/1 message (one PBS)."""
+        keys = self.context.server_keys
+        lut = threshold_lut(threshold, self.params)
+        return lut.apply(feature_ct, keys.bootstrapping_key, keys.keyswitching_key)
+
+    def _select(
+        self, bit: LweCiphertext, if_true: LweCiphertext, if_false: LweCiphertext
+    ) -> LweCiphertext:
+        """Encrypted multiplexer over 0/1 messages (two PBS).
+
+        Returns ``bit * if_true + (1 - bit) * if_false``.  Each product is
+        evaluated by packing ``2*bit + value`` into one ciphertext and
+        applying the corresponding gating LUT.
+        """
+        keys = self.context.server_keys
+        packed_true = bit.scalar_multiply(2) + if_true
+        packed_false = bit.scalar_multiply(2) + if_false
+        taken = self._gate_if_set.apply(
+            packed_true, keys.bootstrapping_key, keys.keyswitching_key
+        )
+        not_taken = self._gate_if_clear.apply(
+            packed_false, keys.bootstrapping_key, keys.keyswitching_key
+        )
+        return taken + not_taken
+
+    # -- inference ------------------------------------------------------------------
+
+    def evaluate(self, encrypted_features: list[LweCiphertext]) -> LweCiphertext:
+        """Return an encryption of the tree's (binary) prediction."""
+        if len(encrypted_features) != self.tree.num_features:
+            raise ValueError(
+                f"expected {self.tree.num_features} encrypted features, "
+                f"got {len(encrypted_features)}"
+            )
+        return self._evaluate_node(self.tree.root, encrypted_features)
+
+    def _evaluate_node(self, node, features: list[LweCiphertext]) -> LweCiphertext:
+        if isinstance(node, Leaf):
+            return LweCiphertext.trivial(
+                encoding.encode(node.label % 2, self.params), self.params.n, self.params
+            )
+        bit = self._compare(features[node.feature], node.threshold)
+        left = self._evaluate_node(node.left, features)
+        right = self._evaluate_node(node.right, features)
+        return self._select(bit, right, left)
+
+    def infer(self, features: list[int]) -> int:
+        """Encrypt the features, evaluate homomorphically and decrypt."""
+        encrypted = [self.context.encrypt(value) for value in features]
+        return self.context.decrypt(self.evaluate(encrypted)) % 2
+
+    def pbs_count(self) -> int:
+        """Programmable bootstraps used by one inference.
+
+        One comparison plus one two-PBS multiplexer per internal node.
+        """
+        return 3 * self.tree.internal_nodes()
+
+
+def tree_inference_graph(
+    params: TFHEParameters,
+    depth: int,
+    trees: int,
+    samples: int,
+) -> ComputationGraph:
+    """Computation graph of forest inference for the simulator.
+
+    The comparisons of one tree level are independent across trees and
+    samples (they batch together); the multiplexer cascade that follows is
+    sequential in the depth, with the widest level at the leaves.
+    """
+    if depth < 1 or trees < 1 or samples < 1:
+        raise ValueError("depth, trees and samples must all be positive")
+    graph = ComputationGraph(params, name=f"forest-d{depth}-t{trees}-s{samples}")
+    previous = None
+    for level in range(depth):
+        name = f"compare_level{level}"
+        comparisons = (2 ** level) * trees * samples
+        graph.add_pbs_layer(name, comparisons, depends_on=[previous] if previous else [])
+        previous = name
+    for level in range(depth):
+        name = f"select_level{level}"
+        selections = 2 ** (depth - 1 - level)
+        graph.add_pbs_layer(
+            name, 2 * selections * trees * samples, depends_on=[previous] if previous else []
+        )
+        previous = name
+    return graph

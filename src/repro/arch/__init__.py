@@ -1,0 +1,24 @@
+"""Strix architecture model.
+
+Cycle-level timing, bandwidth, area and power models of the Strix
+accelerator (Sections IV–V of the paper): the four-level parallelism
+configuration, the five specialized functional units, the Homomorphic
+Streaming Core (HSC) with its six-stage PBS pipeline and keyswitch cluster,
+the two-level scratchpad hierarchy with a multicast NoC, and the HBM
+interface.  The top-level :class:`repro.arch.accelerator.StrixAccelerator`
+combines these into latency / throughput / bandwidth estimates for any TFHE
+parameter set, and drives the discrete-event simulation in :mod:`repro.sim`.
+"""
+
+from repro.arch.config import StrixConfig, STRIX_DEFAULT, STRIX_UNFOLDED
+from repro.arch.accelerator import StrixAccelerator, PbsPerformance
+from repro.arch.area_power import AreaPowerModel
+
+__all__ = [
+    "StrixConfig",
+    "STRIX_DEFAULT",
+    "STRIX_UNFOLDED",
+    "StrixAccelerator",
+    "PbsPerformance",
+    "AreaPowerModel",
+]

@@ -1,0 +1,32 @@
+"""Baseline platform models.
+
+The paper compares Strix against measured CPU (Concrete), GPU (NuFHE), FPGA
+(YKP, XHEC) and ASIC (Matcha) implementations.  Those platforms are closed
+systems we cannot run here, so this package provides two kinds of stand-ins
+(documented as substitutions in DESIGN.md):
+
+* analytical cost models of the CPU and GPU execution (operation counts,
+  core counts, device-level batching and fragmentation) calibrated against
+  the published parameter-set-I numbers — used for the workload breakdown
+  (Fig. 1), the fragmentation study (Fig. 2) and the Deep-NN benchmark
+  (Fig. 7);
+* the published Table V latency/throughput numbers encoded verbatim as
+  reference points — used for the cross-platform comparison table.
+"""
+
+from repro.baselines.cpu_model import ConcreteCpuModel, CpuWorkloadBreakdown
+from repro.baselines.gpu_model import NuFheGpuModel
+from repro.baselines.reference_platforms import (
+    PublishedResult,
+    PUBLISHED_PBS_RESULTS,
+    published_results_for,
+)
+
+__all__ = [
+    "ConcreteCpuModel",
+    "CpuWorkloadBreakdown",
+    "NuFheGpuModel",
+    "PublishedResult",
+    "PUBLISHED_PBS_RESULTS",
+    "published_results_for",
+]

@@ -1,0 +1,198 @@
+"""CPU (Concrete-library-style) cost model.
+
+The paper's CPU baseline is the single-threaded Concrete library on an Intel
+Xeon Platinum; it reports 14 ms per PBS for parameter set I (Table V) and the
+workload breakdown of Fig. 1 (≈65 % PBS, 30 % keyswitch, 5 % linear; blind
+rotation ≈98 % of PBS; the external product's FFT / vector-multiply /
+accumulate+IFFT dominating each iteration).
+
+We model the CPU by counting the primitive floating-point / integer
+operations every TFHE sub-step performs — the same counts our functional
+implementation executes — and calibrating a single constant (effective
+operations per second) so that parameter set I lands on the published 14 ms.
+Relative costs across sub-steps and parameter sets then follow from the
+operation counts alone, which is what the breakdown and the application
+benchmark need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.params import PARAM_SET_I, TFHEParameters
+from repro.sim.graph import ComputationGraph, NodeKind
+
+
+@dataclass(frozen=True)
+class CpuWorkloadBreakdown:
+    """Execution-time shares of one TFHE gate/PBS on the CPU (Fig. 1)."""
+
+    gate_shares: dict[str, float]
+    pbs_shares: dict[str, float]
+    blind_rotation_shares: dict[str, float]
+
+    def dominant_gate_component(self) -> str:
+        """Component with the largest share of the gate execution."""
+        return max(self.gate_shares, key=self.gate_shares.get)
+
+
+class ConcreteCpuModel:
+    """Operation-count cost model of single/multi-core CPU TFHE execution."""
+
+    #: Published single-core PBS latency for parameter set I (Table V).
+    CALIBRATION_LATENCY_MS = 14.0
+
+    #: Relative cost of one complex butterfly vs one integer MAC on the CPU.
+    BUTTERFLY_COST = 10.0
+    COMPLEX_MAC_COST = 6.0
+    INTEGER_MAC_COST = 1.0
+    DECOMPOSE_COST = 2.0
+    ROTATE_COST = 1.0
+    #: Keyswitching streams the multi-MB keyswitching key from DRAM with no
+    #: reuse, so each of its integer MACs is dominated by the memory access
+    #: rather than the arithmetic.  The factor is calibrated so keyswitching
+    #: lands at the ~30 % gate share Concrete profiling reports (Fig. 1).
+    KEYSWITCH_MAC_COST = 30.0
+    #: Modulus switching + sample extraction + test-vector setup measured by
+    #: Concrete profiling at ~2 % of PBS (Fig. 1: blind rotation is ~98 %).
+    PBS_OVERHEAD_FRACTION = 0.0204
+
+    def __init__(self, threads: int = 1):
+        if threads < 1:
+            raise ValueError("thread count must be at least 1")
+        self.threads = threads
+        self._ops_per_second = self._calibrate()
+
+    # -- primitive operation counts -------------------------------------------------
+
+    def fft_operations(self, params: TFHEParameters) -> float:
+        """Weighted operations of one forward FFT (folded, N/2 points)."""
+        points = params.N // 2
+        return self.BUTTERFLY_COST * points * math.log2(points) / 2.0
+
+    def blind_rotation_iteration_operations(self, params: TFHEParameters) -> dict[str, float]:
+        """Weighted operation counts of one blind-rotation iteration."""
+        k, lb, n_poly = params.k, params.lb, params.N
+        decomposed = (k + 1) * lb
+        rotate = self.ROTATE_COST * (k + 1) * n_poly
+        decompose = self.DECOMPOSE_COST * decomposed * n_poly
+        fft = decomposed * self.fft_operations(params)
+        vector_multiply = self.COMPLEX_MAC_COST * decomposed * (k + 1) * (n_poly // 2)
+        ifft = (k + 1) * self.fft_operations(params)
+        accumulate = self.INTEGER_MAC_COST * (k + 1) * n_poly
+        return {
+            "rotate": rotate,
+            "decompose": decompose,
+            "fft": fft,
+            "vector_multiply": vector_multiply,
+            "accumulate_ifft": ifft + accumulate,
+        }
+
+    def blind_rotation_operations(self, params: TFHEParameters) -> float:
+        """Weighted operations of a full blind rotation (n iterations)."""
+        per_iteration = sum(self.blind_rotation_iteration_operations(params).values())
+        return params.n * per_iteration
+
+    def pbs_operations(self, params: TFHEParameters) -> dict[str, float]:
+        """Weighted operation counts of one full PBS.
+
+        Modulus switching and sample extraction perform a negligible number
+        of arithmetic operations; their measured share (together with
+        test-vector setup and allocation overheads) is the
+        :data:`PBS_OVERHEAD_FRACTION` of blind rotation reported by the
+        Concrete profiling the paper quotes.
+        """
+        blind_rotation = self.blind_rotation_operations(params)
+        overhead = blind_rotation * self.PBS_OVERHEAD_FRACTION
+        return {
+            "blind_rotation": blind_rotation,
+            "modulus_switch": overhead * 0.3,
+            "sample_extract": overhead * 0.7,
+        }
+
+    def keyswitch_operations(self, params: TFHEParameters) -> float:
+        """Weighted operations of one keyswitch (DRAM-bound integer MACs)."""
+        return self.KEYSWITCH_MAC_COST * params.k * params.N * params.lk * (params.n + 1)
+
+    def gate_operations(self, params: TFHEParameters) -> dict[str, float]:
+        """Weighted operation counts of one gate bootstrap (PBS + KS + linear)."""
+        pbs = sum(self.pbs_operations(params).values())
+        keyswitch = self.keyswitch_operations(params)
+        # Linear part: the input linear combination plus bookkeeping; Fig. 1
+        # attributes ~5 % of the gate to it.
+        linear = 0.05 / 0.95 * (pbs + keyswitch)
+        return {"pbs": pbs, "keyswitch": keyswitch, "linear": linear}
+
+    # -- calibration / latency ---------------------------------------------------------
+
+    def _calibrate(self) -> float:
+        operations = sum(self.pbs_operations(PARAM_SET_I).values())
+        return operations / (self.CALIBRATION_LATENCY_MS / 1e3)
+
+    def pbs_latency_ms(self, params: TFHEParameters) -> float:
+        """Single-thread latency of one PBS."""
+        operations = sum(self.pbs_operations(params).values())
+        return operations / self._ops_per_second * 1e3
+
+    def keyswitch_latency_ms(self, params: TFHEParameters) -> float:
+        """Single-thread latency of one keyswitch."""
+        return self.keyswitch_operations(params) / self._ops_per_second * 1e3
+
+    def pbs_throughput(self, params: TFHEParameters) -> float:
+        """PBS/s across all configured threads."""
+        return self.threads / (self.pbs_latency_ms(params) / 1e3)
+
+    # -- Fig. 1: workload breakdown ------------------------------------------------------
+
+    def workload_breakdown(self, params: TFHEParameters) -> CpuWorkloadBreakdown:
+        """Execution-time shares of one TFHE gate on the CPU."""
+        gate = self.gate_operations(params)
+        gate_total = sum(gate.values())
+        gate_shares = {name: value / gate_total for name, value in gate.items()}
+
+        pbs = self.pbs_operations(params)
+        pbs_total = sum(pbs.values())
+        pbs_shares = {name: value / pbs_total for name, value in pbs.items()}
+
+        iteration = self.blind_rotation_iteration_operations(params)
+        iteration_total = sum(iteration.values())
+        blind_rotation_shares = {
+            name: value / iteration_total for name, value in iteration.items()
+        }
+        return CpuWorkloadBreakdown(
+            gate_shares=gate_shares,
+            pbs_shares=pbs_shares,
+            blind_rotation_shares=blind_rotation_shares,
+        )
+
+    # -- workload graphs -------------------------------------------------------------------
+
+    def execute_graph(self, graph: ComputationGraph) -> float:
+        """Execution time (seconds) of a computation graph on this CPU.
+
+        Independent ciphertexts within a node spread across the available
+        threads; nodes respect their dependency order.
+        """
+        params = graph.params
+        pbs_latency_s = self.pbs_latency_ms(params) / 1e3
+        ks_latency_s = self.keyswitch_latency_ms(params) / 1e3
+        linear_rate = self._ops_per_second * self.threads
+        total = 0.0
+        for level in graph.levels():
+            level_time = 0.0
+            for node in level:
+                if node.kind is NodeKind.LINEAR:
+                    operations = node.ciphertexts * max(node.operations_per_ciphertext, 1)
+                    node_time = operations * self.INTEGER_MAC_COST * (params.n + 1) / linear_rate
+                else:
+                    per_item = 0.0
+                    if node.kind in (NodeKind.PBS, NodeKind.PBS_KS):
+                        per_item += pbs_latency_s
+                    if node.kind in (NodeKind.KEYSWITCH, NodeKind.PBS_KS):
+                        per_item += ks_latency_s
+                    rounds = math.ceil(node.ciphertexts / self.threads)
+                    node_time = rounds * per_item
+                level_time = max(level_time, node_time)
+            total += level_time
+        return total

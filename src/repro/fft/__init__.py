@@ -1,0 +1,24 @@
+"""Negacyclic FFT substrate.
+
+TFHE multiplies polynomials in the negacyclic ring ``Z_q[X]/(X^N + 1)``.
+Strix (Section V-A) performs these multiplications with a fully pipelined
+complex FFT and a *folding* scheme that transforms an ``N``-point negacyclic
+polynomial using an ``N/2``-point complex FFT.  This package provides:
+
+* :mod:`repro.fft.reference` — exact, quadratic-time negacyclic convolution
+  and a naive DFT, used as ground truth by the tests.
+* :mod:`repro.fft.negacyclic` — the classic twisted full-size FFT transform.
+* :mod:`repro.fft.folding` — the half-size folded transform used by the
+  paper's FFT unit (Klemsa-style mapping onto ``C[X]/(X^{N/2} - i)``).
+"""
+
+from repro.fft.reference import naive_negacyclic_convolution, naive_dft
+from repro.fft.negacyclic import NegacyclicTransform
+from repro.fft.folding import FoldedNegacyclicTransform
+
+__all__ = [
+    "naive_negacyclic_convolution",
+    "naive_dft",
+    "NegacyclicTransform",
+    "FoldedNegacyclicTransform",
+]

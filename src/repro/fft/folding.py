@@ -1,0 +1,92 @@
+"""Folded (half-size) negacyclic transform — the paper's FFT folding scheme.
+
+Section V-A of the paper transforms an ``N``-point polynomial with an
+``N/2``-point FFT by *folding*: the second half of the real polynomial is
+placed in the imaginary slot of the first half.  Mathematically this uses the
+ring isomorphism
+
+.. math::
+
+    \\mathbb{R}[X]/(X^N + 1) \\;\\cong\\; \\mathbb{C}[X]/(X^{N/2} - i),
+    \\qquad
+    a \\mapsto \\sum_{u<N/2} (a_u + i\\,a_{u+N/2})\\,X^u .
+
+Multiplication in the target ring is carried out by evaluating the folded
+complex polynomial at the ``N/2`` roots of ``X^{N/2} = i`` — a twisted
+``N/2``-point FFT.  This is exactly the optimization credited to Klemsa [48]
+and is what halves the FFT unit size in Strix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FoldedNegacyclicTransform:
+    """Half-size negacyclic transform for polynomials of degree ``N``.
+
+    The Fourier-domain representation has ``N/2`` complex points, matching the
+    storage format assumed by the Strix memory model for bootstrapping keys.
+    """
+
+    def __init__(self, degree: int):
+        if degree < 4 or degree & (degree - 1):
+            raise ValueError(f"degree must be a power of two >= 4, got {degree}")
+        self.degree = degree
+        self.half = degree // 2
+        indices = np.arange(self.half)
+        # Twist by e^{i*pi*u/N}: maps evaluation at the roots of X^{N/2} = i
+        # onto a plain (inverse-oriented) DFT of length N/2.
+        self._twist = np.exp(1j * np.pi * indices / degree)
+        self._untwist = np.conj(self._twist)
+
+    # -- folding -------------------------------------------------------------
+
+    def fold(self, coefficients: np.ndarray) -> np.ndarray:
+        """Fold a length-``N`` real polynomial into ``N/2`` complex values."""
+        coeffs = np.asarray(coefficients, dtype=np.float64)
+        if coeffs.shape[-1] != self.degree:
+            raise ValueError(
+                f"expected last axis of length {self.degree}, got {coeffs.shape[-1]}"
+            )
+        return coeffs[..., : self.half] + 1j * coeffs[..., self.half :]
+
+    def unfold(self, folded: np.ndarray) -> np.ndarray:
+        """Invert :meth:`fold`, returning a length-``N`` real array."""
+        values = np.asarray(folded, dtype=np.complex128)
+        if values.shape[-1] != self.half:
+            raise ValueError(
+                f"expected last axis of length {self.half}, got {values.shape[-1]}"
+            )
+        return np.concatenate([np.real(values), np.imag(values)], axis=-1)
+
+    # -- transforms ----------------------------------------------------------
+
+    def forward(self, coefficients: np.ndarray) -> np.ndarray:
+        """Forward folded transform: ``N`` real coefficients → ``N/2`` points.
+
+        Works along the last axis, so batches of polynomials are supported.
+        """
+        folded = self.fold(coefficients)
+        # Evaluation at mu_j = exp(i*pi*(4j+1)/N):
+        #   X_j = sum_u x_u * mu_j^u
+        #       = sum_u (x_u * e^{i*pi*u/N}) * e^{2*pi*i*j*u/(N/2)}
+        # which is the unscaled inverse-oriented DFT of the twisted sequence.
+        return np.fft.ifft(folded * self._twist, axis=-1) * self.half
+
+    def inverse(self, spectrum: np.ndarray) -> np.ndarray:
+        """Inverse folded transform: ``N/2`` points → ``N`` real coefficients."""
+        values = np.asarray(spectrum, dtype=np.complex128)
+        if values.shape[-1] != self.half:
+            raise ValueError(
+                f"expected last axis of length {self.half}, got {values.shape[-1]}"
+            )
+        folded = np.fft.fft(values, axis=-1) / self.half * self._untwist
+        return self.unfold(folded)
+
+    # -- convenience ----------------------------------------------------------
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic product of two integer polynomials using the folded FFT."""
+        product = self.inverse(self.forward(a) * self.forward(b))
+        return np.round(product).astype(np.int64)

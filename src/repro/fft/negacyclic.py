@@ -1,0 +1,73 @@
+"""Twisted full-size negacyclic FFT.
+
+A polynomial product modulo ``X^N + 1`` equals a cyclic convolution of the
+sequences twisted by powers of a primitive ``2N``-th root of unity:
+
+.. math::
+
+    \\widehat{a}_k = \\sum_t a_t\\,\\omega^t\\,e^{-2\\pi i kt/N}
+                  = a\\bigl(e^{-i\\pi(2k+1)/N}\\bigr),
+    \\qquad \\omega = e^{-i\\pi/N}.
+
+Multiplying the evaluations pointwise and applying the inverse FFT followed by
+the inverse twist recovers the negacyclic product.  The transform is exact up
+to floating-point error, so integer polynomial products are recovered by
+rounding as long as the products fit comfortably inside a double's mantissa —
+which is the case for TFHE external products, where one operand always holds
+small decomposed digits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NegacyclicTransform:
+    """Negacyclic polynomial transform of a fixed degree ``N``.
+
+    Instances precompute the twisting factors so repeated transforms (the hot
+    path of blind rotation) avoid recomputing them.
+    """
+
+    def __init__(self, degree: int):
+        if degree < 2 or degree & (degree - 1):
+            raise ValueError(f"degree must be a power of two >= 2, got {degree}")
+        self.degree = degree
+        indices = np.arange(degree)
+        self._twist = np.exp(-1j * np.pi * indices / degree)
+        self._untwist = np.conj(self._twist)
+
+    # -- transforms ----------------------------------------------------------
+
+    def forward(self, coefficients: np.ndarray) -> np.ndarray:
+        """Transform real/integer coefficients to the negacyclic Fourier domain.
+
+        Accepts an array whose last axis has length ``N``; the transform is
+        applied along that axis, so batches of polynomials can be transformed
+        in a single call.
+        """
+        coeffs = np.asarray(coefficients, dtype=np.float64)
+        if coeffs.shape[-1] != self.degree:
+            raise ValueError(
+                f"expected last axis of length {self.degree}, got {coeffs.shape[-1]}"
+            )
+        return np.fft.fft(coeffs * self._twist, axis=-1)
+
+    def inverse(self, spectrum: np.ndarray) -> np.ndarray:
+        """Inverse transform returning real (float) coefficients."""
+        values = np.asarray(spectrum, dtype=np.complex128)
+        if values.shape[-1] != self.degree:
+            raise ValueError(
+                f"expected last axis of length {self.degree}, got {values.shape[-1]}"
+            )
+        return np.real(np.fft.ifft(values, axis=-1) * self._untwist)
+
+    # -- convenience ----------------------------------------------------------
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic product of two integer polynomials, rounded to integers.
+
+        The result is returned as ``int64``; callers reduce modulo ``q``.
+        """
+        product = self.inverse(self.forward(a) * self.forward(b))
+        return np.round(product).astype(np.int64)

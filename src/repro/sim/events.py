@@ -1,0 +1,59 @@
+"""Event primitives for the discrete-event engine."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+#: Monotonic tie-breaker so events scheduled for the same time preserve
+#: insertion order inside the heap.
+_EVENT_COUNTER = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, priority, sequence)`` so the engine pops
+    them chronologically and deterministically.
+    """
+
+    time: float
+    priority: int
+    sequence: int = field(compare=True)
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+    @classmethod
+    def at(
+        cls,
+        time: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> "Event":
+        """Create an event at an absolute time."""
+        return cls(
+            time=time,
+            priority=priority,
+            sequence=next(_EVENT_COUNTER),
+            action=action,
+            label=label,
+        )
+
+
+@dataclass
+class TimelineEntry:
+    """One completed activity recorded on the simulation timeline."""
+
+    resource: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Activity duration."""
+        return self.end - self.start

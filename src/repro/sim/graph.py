@@ -1,0 +1,183 @@
+"""Computational graphs of homomorphic workloads.
+
+A workload is a DAG whose nodes are groups of homomorphic operations:
+``PBS`` (programmable bootstraps over a set of ciphertexts), ``KEYSWITCH``,
+``PBS_KS`` (the usual fused pair), and ``LINEAR`` (homomorphic additions and
+plaintext multiplications, cheap but not free).  Dependencies encode layer
+ordering — e.g. a neural network's activation layer depends on the preceding
+linear layer — which is what limits how many ciphertexts can be batched into
+one blind rotation and therefore drives the fragmentation behaviour the
+paper analyzes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.params import TFHEParameters
+
+
+class NodeKind(enum.Enum):
+    """Kind of work a graph node represents."""
+
+    PBS = "pbs"
+    KEYSWITCH = "keyswitch"
+    PBS_KS = "pbs+ks"
+    LINEAR = "linear"
+
+
+@dataclass
+class ComputationNode:
+    """One group of identical homomorphic operations.
+
+    Attributes
+    ----------
+    name:
+        Unique node name.
+    kind:
+        The operation kind.
+    ciphertexts:
+        Number of independent ciphertexts the node processes (the available
+        test-vector level parallelism).
+    operations_per_ciphertext:
+        For ``LINEAR`` nodes: multiply-accumulate operations per output
+        ciphertext (dot-product length); ignored for PBS/KS nodes.
+    depends_on:
+        Names of nodes that must complete first.
+    """
+
+    name: str
+    kind: NodeKind
+    ciphertexts: int
+    operations_per_ciphertext: int = 0
+    depends_on: list[str] = field(default_factory=list)
+
+    def pbs_count(self) -> int:
+        """Number of programmable bootstraps the node performs."""
+        if self.kind in (NodeKind.PBS, NodeKind.PBS_KS):
+            return self.ciphertexts
+        return 0
+
+    def keyswitch_count(self) -> int:
+        """Number of keyswitches the node performs."""
+        if self.kind in (NodeKind.KEYSWITCH, NodeKind.PBS_KS):
+            return self.ciphertexts
+        return 0
+
+
+class ComputationGraph:
+    """A DAG of :class:`ComputationNode` with topological iteration."""
+
+    def __init__(self, params: TFHEParameters, name: str = "workload"):
+        self.params = params
+        self.name = name
+        self._nodes: dict[str, ComputationNode] = {}
+
+    # -- construction ------------------------------------------------------------
+
+    def add_node(self, node: ComputationNode) -> ComputationNode:
+        """Add a node, validating name uniqueness and dependency existence."""
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        for dependency in node.depends_on:
+            if dependency not in self._nodes:
+                raise ValueError(
+                    f"node {node.name!r} depends on unknown node {dependency!r}"
+                )
+        self._nodes[node.name] = node
+        return node
+
+    def add_pbs_layer(
+        self, name: str, ciphertexts: int, depends_on: list[str] | None = None
+    ) -> ComputationNode:
+        """Convenience: add a fused PBS+keyswitch node."""
+        return self.add_node(
+            ComputationNode(
+                name=name,
+                kind=NodeKind.PBS_KS,
+                ciphertexts=ciphertexts,
+                depends_on=list(depends_on or []),
+            )
+        )
+
+    def add_linear_layer(
+        self,
+        name: str,
+        ciphertexts: int,
+        operations_per_ciphertext: int,
+        depends_on: list[str] | None = None,
+    ) -> ComputationNode:
+        """Convenience: add a linear (add / plaintext-multiply) node."""
+        return self.add_node(
+            ComputationNode(
+                name=name,
+                kind=NodeKind.LINEAR,
+                ciphertexts=ciphertexts,
+                operations_per_ciphertext=operations_per_ciphertext,
+                depends_on=list(depends_on or []),
+            )
+        )
+
+    # -- inspection --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self):
+        return iter(self._nodes.values())
+
+    def node(self, name: str) -> ComputationNode:
+        """Look up a node by name."""
+        return self._nodes[name]
+
+    @property
+    def nodes(self) -> list[ComputationNode]:
+        """All nodes in insertion order."""
+        return list(self._nodes.values())
+
+    def topological_order(self) -> list[ComputationNode]:
+        """Nodes in an order where every dependency precedes its dependents."""
+        resolved: list[ComputationNode] = []
+        seen: set[str] = set()
+        remaining = {name: set(node.depends_on) for name, node in self._nodes.items()}
+        while remaining:
+            ready = [name for name, deps in remaining.items() if deps <= seen]
+            if not ready:
+                raise ValueError("computation graph contains a dependency cycle")
+            for name in ready:
+                resolved.append(self._nodes[name])
+                seen.add(name)
+                del remaining[name]
+        return resolved
+
+    def total_pbs(self) -> int:
+        """Total programmable bootstraps across the graph."""
+        return sum(node.pbs_count() for node in self._nodes.values())
+
+    def total_keyswitches(self) -> int:
+        """Total keyswitches across the graph."""
+        return sum(node.keyswitch_count() for node in self._nodes.values())
+
+    def total_linear_operations(self) -> int:
+        """Total linear multiply-accumulate operations across the graph."""
+        return sum(
+            node.ciphertexts * node.operations_per_ciphertext
+            for node in self._nodes.values()
+            if node.kind is NodeKind.LINEAR
+        )
+
+    def levels(self) -> list[list[ComputationNode]]:
+        """Group nodes into dependency levels (all of a level can run together)."""
+        level_of: dict[str, int] = {}
+        ordered = self.topological_order()
+        for node in ordered:
+            if node.depends_on:
+                level_of[node.name] = 1 + max(level_of[dep] for dep in node.depends_on)
+            else:
+                level_of[node.name] = 0
+        depth = max(level_of.values()) + 1 if level_of else 0
+        grouped: list[list[ComputationNode]] = [[] for _ in range(depth)]
+        for node in ordered:
+            grouped[level_of[node.name]].append(node)
+        return grouped

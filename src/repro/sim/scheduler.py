@@ -1,0 +1,189 @@
+"""Epoch scheduler: executes computation graphs on the Strix model.
+
+Workloads are scheduled "in a series of epochs, with each epoch containing a
+maximum number of LWEs equal to the product of device-level and core-level
+batch sizes" (Section IV-C).  The scheduler walks the computation graph in
+dependency order, splits every PBS node into epochs, runs the blind rotation
+of each epoch on the HSC resources of the discrete-event engine and lets the
+keyswitching of one epoch hide behind the blind rotation of the next.
+Linear nodes are charged to a (cheap) vector unit on the host interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.accelerator import StrixAccelerator
+from repro.params import TFHEParameters
+from repro.sim.engine import SimulationEngine
+from repro.sim.fragments import plan_fragments
+from repro.sim.graph import ComputationGraph, ComputationNode, NodeKind
+
+
+@dataclass
+class NodeSchedule:
+    """Timing of one graph node on the accelerator."""
+
+    node: str
+    kind: str
+    start_s: float
+    end_s: float
+    epochs: int
+
+    @property
+    def duration_s(self) -> float:
+        """Node execution time in seconds."""
+        return self.end_s - self.start_s
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of executing a computation graph."""
+
+    workload: str
+    parameter_set: str
+    total_time_s: float
+    node_schedules: list[NodeSchedule]
+    total_pbs: int
+    total_epochs: int
+    core_utilization: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_time_ms(self) -> float:
+        """End-to-end execution time in milliseconds."""
+        return self.total_time_s * 1e3
+
+    @property
+    def pbs_throughput(self) -> float:
+        """Achieved PBS/s over the whole workload."""
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.total_pbs / self.total_time_s
+
+
+class StrixScheduler:
+    """Maps computation graphs onto a :class:`StrixAccelerator`."""
+
+    #: Homomorphic linear operations sustained per second by the host-side
+    #: vector pipeline of one HSC (simple 32-bit multiply-accumulates over
+    #: LWE vectors streaming from the private scratchpad sections).
+    LINEAR_MACS_PER_CYCLE_PER_CORE = 16
+
+    def __init__(self, accelerator: StrixAccelerator):
+        self.accelerator = accelerator
+        self.config = accelerator.config
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, graph: ComputationGraph) -> ScheduleResult:
+        """Execute a computation graph and return its schedule."""
+        params = graph.params
+        engine = SimulationEngine()
+        for core in range(self.config.tvlp):
+            engine.add_resource(f"hsc{core}")
+        engine.add_resource("keyswitch")
+        engine.add_resource("linear")
+
+        finish_time: dict[str, float] = {}
+        node_schedules: list[NodeSchedule] = []
+        total_epochs = 0
+
+        for node in graph.topological_order():
+            ready = max((finish_time[dep] for dep in node.depends_on), default=0.0)
+            if node.kind is NodeKind.LINEAR:
+                end, epochs = self._schedule_linear(engine, node, ready)
+            else:
+                end, epochs = self._schedule_pbs_node(engine, node, params, ready)
+            finish_time[node.name] = end
+            total_epochs += epochs
+            node_schedules.append(
+                NodeSchedule(
+                    node=node.name,
+                    kind=node.kind.value,
+                    start_s=ready,
+                    end_s=end,
+                    epochs=epochs,
+                )
+            )
+
+        makespan = engine.makespan
+        utilization = {
+            name: engine.utilization(name)
+            for name in engine.resources
+            if name.startswith("hsc")
+        }
+        return ScheduleResult(
+            workload=graph.name,
+            parameter_set=params.name,
+            total_time_s=makespan,
+            node_schedules=node_schedules,
+            total_pbs=graph.total_pbs(),
+            total_epochs=total_epochs,
+            core_utilization=utilization,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _schedule_linear(
+        self, engine: SimulationEngine, node: ComputationNode, ready: float
+    ) -> tuple[float, int]:
+        operations = node.ciphertexts * max(node.operations_per_ciphertext, 1)
+        macs_per_second = (
+            self.LINEAR_MACS_PER_CYCLE_PER_CORE * self.config.tvlp * self.config.clock_hz
+        )
+        duration = operations / macs_per_second
+        entry = engine.schedule_activity("linear", duration, ready, label=node.name)
+        return entry.end, 0
+
+    def _schedule_pbs_node(
+        self,
+        engine: SimulationEngine,
+        node: ComputationNode,
+        params: TFHEParameters,
+        ready: float,
+    ) -> tuple[float, int]:
+        accelerator = self.accelerator
+        core_batch = accelerator.core.core_batch_size(params)
+        epoch_capacity = self.config.tvlp * core_batch
+        plan = plan_fragments(node.ciphertexts, epoch_capacity)
+
+        node_end = ready
+        for epoch_index, epoch_lwes in enumerate(plan.fragment_sizes):
+            epoch_plan = accelerator.plan_epoch(params, epoch_lwes)
+            epoch_end = ready
+            for core_index, core_lwes in enumerate(epoch_plan.lwes_per_core):
+                if core_lwes == 0:
+                    continue
+                if core_lwes == 1:
+                    cycles = params.n * accelerator.iteration_latency_cycles(params)
+                else:
+                    timing = accelerator.pipeline_timing(params)
+                    cycles = params.n * core_lwes * timing.initiation_interval
+                duration = self.config.cycles_to_seconds(cycles)
+                entry = engine.schedule_activity(
+                    f"hsc{core_index}",
+                    duration,
+                    ready,
+                    label=f"{node.name}/epoch{epoch_index}",
+                )
+                epoch_end = max(epoch_end, entry.end)
+
+            if node.kind in (NodeKind.PBS_KS, NodeKind.KEYSWITCH):
+                ks_cycles = max(epoch_plan.lwes_per_core) * accelerator.core.keyswitch_cycles(params)
+                ks_duration = self.config.cycles_to_seconds(ks_cycles)
+                ks_entry = engine.schedule_activity(
+                    "keyswitch",
+                    ks_duration,
+                    epoch_end,
+                    label=f"{node.name}/ks{epoch_index}",
+                )
+                # Keyswitching of this epoch overlaps the next epoch's blind
+                # rotation; only the final epoch's keyswitch extends the node.
+                if epoch_index == plan.num_passes - 1:
+                    epoch_end = ks_entry.end
+
+            node_end = max(node_end, epoch_end)
+            # Successive epochs of the same node serialize naturally on the
+            # HSC resources, so `ready` (the dependency bound) is unchanged.
+
+        return node_end, plan.num_passes

@@ -1,0 +1,133 @@
+"""Signed gadget decomposition.
+
+Both the external product (blind rotation) and keyswitching decompose torus
+values into a small number of signed digits in a power-of-two base, keeping
+only the most significant ``levels * log2(base)`` bits (Equation 3 of the
+paper).  Strix implements this step in the streaming Decomposer unit; here we
+provide the bit-exact reference used by the functional TFHE implementation.
+
+The decomposition of ``a`` into digits ``d_1 .. d_l`` (``d_i`` roughly in
+``[-B/2, B/2]``) satisfies
+
+.. math::
+
+    \\Bigl| a - \\sum_{i=1}^{l} d_i \\frac{q}{B^i} \\Bigr| \\le \\frac{q}{2 B^l}
+
+in wrap-around distance, which is exactly the bound the paper states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.params import TFHEParameters
+
+
+def decompose(
+    values: np.ndarray,
+    levels: int,
+    log2_base: int,
+    q_bits: int = 32,
+) -> np.ndarray:
+    """Decompose torus values into signed digits.
+
+    Parameters
+    ----------
+    values:
+        Array of canonical torus values (any shape).
+    levels:
+        Number of digits to produce.
+    log2_base:
+        log2 of the decomposition base ``B``.
+    q_bits:
+        Width of the torus modulus.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array with one extra leading axis of length ``levels``; entry ``i``
+        holds the digit that multiplies ``q / B^(i+1)``.  Digits lie in
+        ``[-B/2, B/2]``.
+    """
+    if levels * log2_base > q_bits:
+        raise ValueError(
+            f"decomposition keeps {levels * log2_base} bits which exceeds the "
+            f"{q_bits}-bit modulus"
+        )
+    values = np.asarray(values, dtype=np.int64)
+    base = 1 << log2_base
+    half_base = base >> 1
+    kept_bits = levels * log2_base
+    dropped_bits = q_bits - kept_bits
+
+    # Round to the closest multiple of q / B^levels, expressed as an integer
+    # gamma in [0, B^levels).
+    if dropped_bits > 0:
+        gamma = (values + (1 << (dropped_bits - 1))) >> dropped_bits
+    else:
+        gamma = values.copy()
+
+    digits = np.empty((levels,) + values.shape, dtype=np.int64)
+    # Extract digits from least significant (level `levels`) to most
+    # significant (level 1), propagating the balancing carry.
+    for level in range(levels - 1, -1, -1):
+        digit = gamma & (base - 1)
+        gamma >>= log2_base
+        carry = (digit >= half_base).astype(np.int64)
+        digit = digit - (carry << log2_base)
+        gamma += carry
+        digits[level] = digit
+    return digits
+
+
+def recompose(
+    digits: np.ndarray,
+    log2_base: int,
+    q_bits: int = 32,
+) -> np.ndarray:
+    """Rebuild the rounded torus values from their signed digits.
+
+    Inverse (up to the rounding error bound) of :func:`decompose`; used by
+    the property tests.
+    """
+    digits = np.asarray(digits, dtype=np.int64)
+    levels = digits.shape[0]
+    q = 1 << q_bits
+    result = np.zeros(digits.shape[1:], dtype=np.int64)
+    for level in range(levels):
+        scale = 1 << (q_bits - (level + 1) * log2_base)
+        result = result + digits[level] * scale
+    return np.mod(result, q)
+
+
+def decompose_polynomial_list(
+    polys: np.ndarray,
+    levels: int,
+    log2_base: int,
+    q_bits: int = 32,
+) -> np.ndarray:
+    """Decompose a batch of polynomials into digit polynomials.
+
+    Given an array of shape ``(m, N)`` the result has shape
+    ``(m * levels, N)`` ordered as ``(poly_0 level_1 .. level_l, poly_1
+    level_1 ..)``, which is the row ordering expected by the external product
+    against a GGSW matrix.
+    """
+    polys = np.asarray(polys, dtype=np.int64)
+    if polys.ndim != 2:
+        raise ValueError(f"expected a 2-D array of polynomials, got shape {polys.shape}")
+    digits = decompose(polys, levels, log2_base, q_bits)
+    # digits shape: (levels, m, N)  ->  (m, levels, N)  ->  (m * levels, N)
+    return np.transpose(digits, (1, 0, 2)).reshape(-1, polys.shape[1])
+
+
+def decomposition_error_bound(levels: int, log2_base: int, q_bits: int = 32) -> int:
+    """Worst-case wrap-around reconstruction error: ``q / (2 * B^levels)``."""
+    return 1 << max(q_bits - levels * log2_base - 1, 0)
+
+
+def decompose_for_params(values: np.ndarray, params: TFHEParameters, *, keyswitch: bool = False) -> np.ndarray:
+    """Convenience wrapper selecting the PBS or keyswitching decomposition."""
+    if keyswitch:
+        return decompose(values, params.lk, params.log2_base_ks, params.q_bits)
+    return decompose(values, params.lb, params.log2_base_pbs, params.q_bits)

@@ -1,0 +1,67 @@
+"""Message encoding on the discretized torus.
+
+TFHE places a small integer message in the most significant bits of a torus
+value.  With ``p = 2**message_bits`` possible messages and one reserved
+padding bit, the scaling factor is ``delta = q / (2 * p)``, so messages live
+in the lower half of the torus and blind rotation's negacyclic wrap never
+corrupts a valid message.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.params import TFHEParameters
+from repro.tfhe import torus
+
+
+def encode(message: int, params: TFHEParameters) -> int:
+    """Encode an integer message ``0 <= message < p`` as a torus value."""
+    p = params.message_modulus
+    if not 0 <= message < p:
+        raise ValueError(f"message {message} out of range [0, {p})")
+    return (message * params.delta) % params.q
+
+
+def decode(value: int, params: TFHEParameters) -> int:
+    """Decode a (noisy) torus value back to the nearest message.
+
+    The result is reduced modulo ``2 * p``; callers that respect the padding
+    bit always obtain a value below ``p``.
+    """
+    p = params.message_modulus
+    scaled = (int(value) + params.delta // 2) // params.delta
+    return scaled % (2 * p)
+
+
+def encode_array(messages: np.ndarray, params: TFHEParameters) -> np.ndarray:
+    """Vectorized :func:`encode`."""
+    messages = np.asarray(messages, dtype=np.int64)
+    p = params.message_modulus
+    if np.any((messages < 0) | (messages >= p)):
+        raise ValueError(f"messages out of range [0, {p})")
+    return torus.reduce(messages * params.delta, params.q)
+
+
+def decode_array(values: np.ndarray, params: TFHEParameters) -> np.ndarray:
+    """Vectorized :func:`decode`."""
+    values = np.asarray(values, dtype=np.int64)
+    p = params.message_modulus
+    scaled = (values + params.delta // 2) // params.delta
+    return np.mod(scaled, 2 * p)
+
+
+def encode_boolean(value: bool, params: TFHEParameters) -> int:
+    """Encode a boolean as ``+q/8`` (true) or ``-q/8`` (false).
+
+    This is the encoding used by TFHE gate bootstrapping: the two values sit
+    in opposite halves of the torus so a sign test distinguishes them.
+    """
+    eighth = params.q // 8
+    return eighth if value else (params.q - eighth)
+
+
+def decode_boolean(value: int, params: TFHEParameters) -> bool:
+    """Decode a (noisy) gate-bootstrapping torus value to a boolean."""
+    signed = torus.to_signed(int(value), params.q)
+    return signed > 0

@@ -1,0 +1,180 @@
+"""Secret keys and evaluation (bootstrapping / keyswitching) keys.
+
+The four entities of Section II-D: LWE ciphertexts and GLWE test-vectors are
+defined in :mod:`repro.tfhe.lwe` / :mod:`repro.tfhe.glwe`; this module holds
+the secret keys and builds the two large evaluation keys:
+
+* the **bootstrapping key** — one GGSW encryption (under the GLWE key) of
+  each bit of the LWE secret key, stored in the Fourier domain;
+* the **keyswitching key** — LWE encryptions (under the original LWE key) of
+  the scaled bits of the GLWE key flattened into an LWE key of dimension
+  ``k * N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.params import TFHEParameters
+from repro.tfhe import torus
+from repro.tfhe.ggsw import FourierGgswCiphertext, GgswCiphertext
+from repro.tfhe.lwe import LweCiphertext
+
+
+@dataclass
+class LweSecretKey:
+    """Binary LWE secret key of dimension ``n``."""
+
+    bits: np.ndarray
+    params: TFHEParameters
+
+    def __post_init__(self) -> None:
+        self.bits = np.asarray(self.bits, dtype=np.int64)
+        if not np.all((self.bits == 0) | (self.bits == 1)):
+            raise ValueError("LWE secret key must be binary")
+
+    @property
+    def dimension(self) -> int:
+        """Key dimension."""
+        return int(self.bits.shape[0])
+
+    @classmethod
+    def generate(cls, params: TFHEParameters, rng: np.random.Generator) -> "LweSecretKey":
+        """Sample a fresh binary key of dimension ``n``."""
+        return cls(rng.integers(0, 2, size=params.n, dtype=np.int64), params)
+
+    def encrypt(
+        self, value: int, rng: np.random.Generator, noise_std: float | None = None
+    ) -> LweCiphertext:
+        """Encrypt a torus value under this key."""
+        return LweCiphertext.encrypt(value, self.bits, self.params, rng, noise_std)
+
+    def decrypt_phase(self, ciphertext: LweCiphertext) -> int:
+        """Return the noisy phase of a ciphertext encrypted under this key."""
+        return ciphertext.phase(self.bits)
+
+
+@dataclass
+class GlweSecretKey:
+    """GLWE secret key: ``k`` binary polynomials of degree ``N``."""
+
+    polynomials: np.ndarray
+    params: TFHEParameters
+
+    def __post_init__(self) -> None:
+        self.polynomials = np.asarray(self.polynomials, dtype=np.int64)
+        expected = (self.params.k, self.params.N)
+        if self.polynomials.shape != expected:
+            raise ValueError(
+                f"GLWE key must have shape {expected}, got {self.polynomials.shape}"
+            )
+        if not np.all((self.polynomials == 0) | (self.polynomials == 1)):
+            raise ValueError("GLWE secret key must be binary")
+
+    @classmethod
+    def generate(cls, params: TFHEParameters, rng: np.random.Generator) -> "GlweSecretKey":
+        """Sample fresh binary key polynomials."""
+        return cls(
+            rng.integers(0, 2, size=(params.k, params.N), dtype=np.int64), params
+        )
+
+    def extracted_lwe_key(self) -> np.ndarray:
+        """Flatten the key into the LWE key of dimension ``k*N``.
+
+        Sample extraction of a GLWE ciphertext produces an LWE ciphertext
+        valid under this flattened key.
+        """
+        return self.polynomials.reshape(-1)
+
+
+@dataclass
+class BootstrappingKey:
+    """Fourier-domain bootstrapping key: one GGSW per LWE secret bit."""
+
+    ggsw_list: list[FourierGgswCiphertext]
+    params: TFHEParameters
+
+    def __len__(self) -> int:
+        return len(self.ggsw_list)
+
+    def __getitem__(self, index: int) -> FourierGgswCiphertext:
+        return self.ggsw_list[index]
+
+    @classmethod
+    def generate(
+        cls,
+        lwe_key: LweSecretKey,
+        glwe_key: GlweSecretKey,
+        rng: np.random.Generator,
+        noise_std: float | None = None,
+    ) -> "BootstrappingKey":
+        """Encrypt every LWE secret bit as a GGSW under the GLWE key."""
+        params = lwe_key.params
+        ggsw_list = []
+        for bit in lwe_key.bits:
+            ggsw = GgswCiphertext.encrypt(
+                int(bit), glwe_key.polynomials, params, rng, noise_std
+            )
+            ggsw_list.append(ggsw.to_fourier())
+        return cls(ggsw_list, params)
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the key in the Fourier-domain storage format."""
+        return self.params.bootstrapping_key_fourier_bytes
+
+
+@dataclass
+class KeySwitchingKey:
+    """Keyswitching key from the extracted GLWE key back to the LWE key.
+
+    ``ciphertexts`` has shape ``(k*N, lk, n+1)``: for input coefficient ``j``
+    and level ``l`` it stores an LWE encryption (mask ++ body) of
+    ``s'_j * q / Bk^(l+1)`` under the output key.
+    """
+
+    ciphertexts: np.ndarray
+    params: TFHEParameters
+
+    def __post_init__(self) -> None:
+        expected = (
+            self.params.k * self.params.N,
+            self.params.lk,
+            self.params.n + 1,
+        )
+        self.ciphertexts = np.asarray(self.ciphertexts, dtype=np.int64)
+        if self.ciphertexts.shape != expected:
+            raise ValueError(
+                f"keyswitching key must have shape {expected}, got {self.ciphertexts.shape}"
+            )
+
+    @classmethod
+    def generate(
+        cls,
+        glwe_key: GlweSecretKey,
+        lwe_key: LweSecretKey,
+        rng: np.random.Generator,
+        noise_std: float | None = None,
+    ) -> "KeySwitchingKey":
+        """Build the keyswitching key from ``glwe_key`` (input) to ``lwe_key``."""
+        params = lwe_key.params
+        q = params.q
+        std = params.lwe_noise_std if noise_std is None else noise_std
+        input_key = glwe_key.extracted_lwe_key()
+        input_dim = input_key.shape[0]
+        table = np.zeros((input_dim, params.lk, params.n + 1), dtype=np.int64)
+        for j in range(input_dim):
+            bit = int(input_key[j])
+            for level in range(params.lk):
+                scale = q >> ((level + 1) * params.log2_base_ks)
+                ct = LweCiphertext.encrypt(bit * scale, lwe_key.bits, params, rng, std)
+                table[j, level, : params.n] = ct.mask
+                table[j, level, params.n] = ct.body
+        return cls(table, params)
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the key in bytes (32-bit coefficients)."""
+        return int(self.ciphertexts.size) * (self.params.q_bits // 8)

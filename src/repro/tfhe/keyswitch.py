@@ -1,0 +1,40 @@
+"""LWE keyswitching (Algorithm 2 of the paper).
+
+After sample extraction the LWE ciphertext lives under the flattened GLWE
+key of dimension ``k*N``.  Keyswitching converts it back to the original
+``n``-dimensional key: each input mask coefficient is decomposed into ``lk``
+signed digits which multiply precomputed LWE encryptions of the scaled key
+bits, all of which are subtracted from the trivial embedding of the body.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.params import TFHEParameters
+from repro.tfhe import torus
+from repro.tfhe.decomposition import decompose
+from repro.tfhe.keys import KeySwitchingKey
+from repro.tfhe.lwe import LweCiphertext
+
+
+def keyswitch(
+    ciphertext: LweCiphertext,
+    keyswitching_key: KeySwitchingKey,
+    params: TFHEParameters,
+) -> LweCiphertext:
+    """Switch an extracted LWE ciphertext back to the ``n``-dimensional key."""
+    input_dim = params.k * params.N
+    if ciphertext.dimension != input_dim:
+        raise ValueError(
+            f"expected an extracted ciphertext of dimension {input_dim}, "
+            f"got {ciphertext.dimension}"
+        )
+    # digits: shape (lk, k*N) — level-major to match the keyswitching key layout.
+    digits = decompose(ciphertext.mask, params.lk, params.log2_base_ks, params.q_bits)
+    table = keyswitching_key.ciphertexts  # (k*N, lk, n+1)
+    # Accumulate sum_{j,l} d[l, j] * ksk[j, l, :] in one tensor contraction.
+    combination = np.einsum("lj,jlc->c", digits, table)
+    mask = torus.reduce(-combination[: params.n], params.q)
+    body = (ciphertext.body - int(combination[params.n])) % params.q
+    return LweCiphertext(mask, body, params)

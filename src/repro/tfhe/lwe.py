@@ -1,0 +1,120 @@
+"""LWE ciphertexts.
+
+An LWE ciphertext is a vector ``(a_1, ..., a_n, b)`` of torus scalars with
+``b = <a, s> + m + e`` for a binary secret ``s``, message ``m`` and noise
+``e``.  It is the primary carrier of encrypted messages in TFHE (Section
+II-D of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.params import TFHEParameters
+from repro.tfhe import torus
+
+
+@dataclass
+class LweCiphertext:
+    """An LWE ciphertext ``(a, b)`` over the discretized torus.
+
+    Attributes
+    ----------
+    mask:
+        The ``a`` vector (length equals the LWE dimension of this ciphertext,
+        which is ``n`` for freshly encrypted ciphertexts and ``k*N`` for
+        ciphertexts extracted from a GLWE).
+    body:
+        The scalar ``b``.
+    params:
+        The parameter set the ciphertext was produced under.
+    """
+
+    mask: np.ndarray
+    body: int
+    params: TFHEParameters
+
+    def __post_init__(self) -> None:
+        self.mask = torus.reduce(np.asarray(self.mask, dtype=np.int64), self.params.q)
+        self.body = int(self.body) % self.params.q
+
+    @property
+    def dimension(self) -> int:
+        """LWE dimension (length of the mask)."""
+        return int(self.mask.shape[0])
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def trivial(cls, value: int, dimension: int, params: TFHEParameters) -> "LweCiphertext":
+        """Noiseless, keyless encryption of ``value`` (mask of all zeros)."""
+        return cls(np.zeros(dimension, dtype=np.int64), value, params)
+
+    @classmethod
+    def encrypt(
+        cls,
+        value: int,
+        key: "np.ndarray",
+        params: TFHEParameters,
+        rng: np.random.Generator,
+        noise_std: float | None = None,
+    ) -> "LweCiphertext":
+        """Encrypt a torus value under a binary secret key vector."""
+        key = np.asarray(key, dtype=np.int64)
+        std = params.lwe_noise_std if noise_std is None else noise_std
+        mask = torus.uniform(key.shape[0], params.q, rng)
+        noise = int(torus.gaussian_noise((), std, params.q, rng))
+        body = (int(np.dot(mask, key)) + int(value) + noise) % params.q
+        return cls(mask, body, params)
+
+    # -- decryption ------------------------------------------------------------
+
+    def phase(self, key: np.ndarray) -> int:
+        """Return the noisy phase ``b - <a, s>`` (message plus noise)."""
+        key = np.asarray(key, dtype=np.int64)
+        if key.shape[0] != self.dimension:
+            raise ValueError(
+                f"key dimension {key.shape[0]} does not match ciphertext "
+                f"dimension {self.dimension}"
+            )
+        return (self.body - int(np.dot(self.mask, key))) % self.params.q
+
+    # -- homomorphic linear operations ------------------------------------------
+
+    def __add__(self, other: "LweCiphertext") -> "LweCiphertext":
+        self._check_compatible(other)
+        return LweCiphertext(
+            self.mask + other.mask, self.body + other.body, self.params
+        )
+
+    def __sub__(self, other: "LweCiphertext") -> "LweCiphertext":
+        self._check_compatible(other)
+        return LweCiphertext(
+            self.mask - other.mask, self.body - other.body, self.params
+        )
+
+    def __neg__(self) -> "LweCiphertext":
+        return LweCiphertext(-self.mask, -self.body, self.params)
+
+    def scalar_multiply(self, scalar: int) -> "LweCiphertext":
+        """Multiply the encrypted message by a small plaintext integer."""
+        return LweCiphertext(self.mask * int(scalar), self.body * int(scalar), self.params)
+
+    def add_plaintext(self, value: int) -> "LweCiphertext":
+        """Add a plaintext torus value to the encrypted message."""
+        return LweCiphertext(self.mask.copy(), self.body + int(value), self.params)
+
+    def copy(self) -> "LweCiphertext":
+        """Deep copy of the ciphertext."""
+        return LweCiphertext(self.mask.copy(), self.body, self.params)
+
+    def _check_compatible(self, other: "LweCiphertext") -> None:
+        if self.dimension != other.dimension:
+            raise ValueError(
+                "cannot combine LWE ciphertexts of different dimensions: "
+                f"{self.dimension} vs {other.dimension}"
+            )
+        if self.params.q != other.params.q:
+            raise ValueError("cannot combine ciphertexts with different moduli")

@@ -1,0 +1,101 @@
+"""Negacyclic torus polynomial arithmetic.
+
+GLWE ciphertexts and GGSW rows are vectors of polynomials in the ring
+``Z_q[X] / (X^N + 1)``.  This module provides the operations blind rotation
+needs on such polynomials: addition/subtraction, negacyclic monomial
+rotation (multiplication by ``X^r``), and multiplication by an integer
+polynomial with small coefficients (the decomposed digits), executed through
+the FFT transforms of :mod:`repro.fft`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft.folding import FoldedNegacyclicTransform
+from repro.tfhe import torus
+
+# Cache of transforms keyed by polynomial degree: blind rotation performs
+# thousands of transforms of the same size, so the twiddle tables are shared.
+_TRANSFORMS: dict[int, FoldedNegacyclicTransform] = {}
+
+
+def get_transform(degree: int) -> FoldedNegacyclicTransform:
+    """Return (and cache) the folded negacyclic transform for ``degree``."""
+    transform = _TRANSFORMS.get(degree)
+    if transform is None:
+        transform = FoldedNegacyclicTransform(degree)
+        _TRANSFORMS[degree] = transform
+    return transform
+
+
+def zero(degree: int) -> np.ndarray:
+    """The zero polynomial of the given degree."""
+    return np.zeros(degree, dtype=np.int64)
+
+
+def add(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """Coefficient-wise addition modulo ``q``."""
+    return torus.reduce(np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64), q)
+
+
+def sub(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """Coefficient-wise subtraction modulo ``q``."""
+    return torus.reduce(np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64), q)
+
+
+def negate(a: np.ndarray, q: int) -> np.ndarray:
+    """Coefficient-wise negation modulo ``q``."""
+    return torus.reduce(-np.asarray(a, dtype=np.int64), q)
+
+
+def monomial_multiply(a: np.ndarray, exponent: int, q: int) -> np.ndarray:
+    """Multiply a polynomial by ``X^exponent`` modulo ``X^N + 1``.
+
+    ``exponent`` may be any integer (negative exponents rotate the other
+    way); the result respects the negacyclic sign rule ``X^N = -1``.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    n = a.shape[-1]
+    exponent = exponent % (2 * n)
+    if exponent == 0:
+        return torus.reduce(a.copy(), q)
+    negate_all = exponent >= n
+    shift = exponent - n if negate_all else exponent
+    rotated = np.empty_like(a)
+    if shift:
+        rotated[..., shift:] = a[..., : n - shift]
+        rotated[..., :shift] = -a[..., n - shift :]
+    else:
+        rotated[...] = a
+    if negate_all:
+        rotated = -rotated
+    return torus.reduce(rotated, q)
+
+
+def rotate_and_subtract(a: np.ndarray, exponent: int, q: int) -> np.ndarray:
+    """Compute ``X^exponent * a - a`` modulo ``(X^N + 1, q)``.
+
+    This is the "rotate and subtract" step of each blind rotation iteration
+    (Algorithm 1, line 6), implemented by the Rotator unit in Strix.
+    """
+    return sub(monomial_multiply(a, exponent, q), a, q)
+
+
+def integer_multiply(torus_poly: np.ndarray, integer_poly: np.ndarray, q: int) -> np.ndarray:
+    """Multiply a torus polynomial by a small-coefficient integer polynomial.
+
+    The torus operand is centered to ``[-q/2, q/2)`` before the transform to
+    keep the floating-point products well inside a double's exact range, then
+    the product is reduced back modulo ``q``.
+    """
+    torus_poly = np.asarray(torus_poly, dtype=np.int64)
+    transform = get_transform(torus_poly.shape[-1])
+    centered = torus.to_signed(torus_poly, q)
+    product = transform.multiply(centered, np.asarray(integer_poly, dtype=np.int64))
+    return torus.reduce(product, q)
+
+
+def constant_term(a: np.ndarray) -> int:
+    """Return the degree-zero coefficient of a polynomial."""
+    return int(np.asarray(a)[..., 0])

@@ -1,0 +1,77 @@
+"""Discretized torus arithmetic.
+
+TFHE works over the real torus ``T = R/Z`` discretized to ``q = 2^32``
+levels.  A torus element is therefore an integer modulo ``q``; this module
+provides the small set of helpers (reduction, signed/centered representation,
+uniform and Gaussian sampling, rounding) shared by every ciphertext type.
+
+All arrays use ``int64`` with values kept in the canonical range ``[0, q)``.
+Using a signed 64-bit container for 32-bit torus values keeps intermediate
+sums (e.g. LWE dot products with binary keys) exact without extra care.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def reduce(values: np.ndarray | int, q: int) -> np.ndarray | int:
+    """Reduce values into the canonical torus range ``[0, q)``."""
+    if np.isscalar(values) or isinstance(values, (int, np.integer)):
+        return int(values) % q
+    return np.mod(np.asarray(values, dtype=np.int64), q)
+
+
+def to_signed(values: np.ndarray | int, q: int) -> np.ndarray | int:
+    """Map canonical torus values to the centered range ``[-q/2, q/2)``."""
+    half = q // 2
+    if np.isscalar(values) or isinstance(values, (int, np.integer)):
+        value = int(values) % q
+        return value - q if value >= half else value
+    canonical = np.mod(np.asarray(values, dtype=np.int64), q)
+    return np.where(canonical >= half, canonical - q, canonical)
+
+
+def uniform(shape, q: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample uniformly random torus elements."""
+    return rng.integers(0, q, size=shape, dtype=np.int64)
+
+
+def gaussian_noise(shape, std: float, q: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample rounded Gaussian noise.
+
+    ``std`` is expressed as a fraction of the torus (the convention used by
+    the parameter sets), so the discrete standard deviation is ``std * q``.
+    """
+    if std <= 0.0:
+        return np.zeros(shape, dtype=np.int64)
+    noise = rng.normal(0.0, std * q, size=shape)
+    return np.mod(np.round(noise).astype(np.int64), q)
+
+
+def round_to_multiple(values: np.ndarray | int, step: int, q: int):
+    """Round torus values to the nearest multiple of ``step`` (mod ``q``)."""
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    if np.isscalar(values) or isinstance(values, (int, np.integer)):
+        return ((int(values) + step // 2) // step * step) % q
+    values = np.asarray(values, dtype=np.int64)
+    return np.mod((values + step // 2) // step * step, q)
+
+
+def switch_modulus(values: np.ndarray | int, q: int, new_modulus: int):
+    """Rescale torus values from modulus ``q`` to ``new_modulus`` with rounding.
+
+    This is the *modulus switching* step at the start of PBS (Algorithm 1,
+    line 3), which maps 32-bit torus values onto ``Z_{2N}``.
+    """
+    if np.isscalar(values) or isinstance(values, (int, np.integer)):
+        return ((int(values) * new_modulus + q // 2) // q) % new_modulus
+    values = np.asarray(values, dtype=np.int64)
+    return np.mod((values * new_modulus + q // 2) // q, new_modulus)
+
+
+def absolute_distance(a, b, q: int):
+    """Shortest wrap-around distance between two torus values."""
+    diff = np.mod(np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64), q)
+    return np.minimum(diff, q - diff)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+Key generation and bootstrapping-key encryption are the slowest parts of the
+functional TFHE tests, so contexts (with their server keys) are created once
+per session and shared.  Tests never mutate the contexts' key material.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.accelerator import StrixAccelerator
+from repro.params import SMALL_PARAMETERS, TOY_PARAMETERS
+from repro.tfhe.context import TFHEContext
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests that need raw randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def toy_context() -> TFHEContext:
+    """A TFHE context on the fast TOY parameter set, with server keys."""
+    context = TFHEContext(TOY_PARAMETERS, seed=2023)
+    context.generate_server_keys()
+    return context
+
+
+@pytest.fixture(scope="session")
+def small_context() -> TFHEContext:
+    """A TFHE context on the SMALL parameter set (k=2), with server keys."""
+    context = TFHEContext(SMALL_PARAMETERS, seed=2024)
+    context.generate_server_keys()
+    return context
+
+
+@pytest.fixture(scope="session")
+def strix() -> StrixAccelerator:
+    """The default Strix accelerator model (TvLP=8, CLP=4, folded FFT)."""
+    return StrixAccelerator()

@@ -1,0 +1,101 @@
+"""Tests for the extension studies (batch sensitivity, unrolling, energy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.batch_sensitivity import batch_sensitivity_study
+from repro.analysis.energy_comparison import energy_comparison
+from repro.analysis.unrolling_ablation import unrolling_ablation
+from repro.params import PARAM_SET_I, PARAM_SET_IV
+
+
+class TestBatchSensitivity:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return batch_sensitivity_study(PARAM_SET_I)
+
+    def test_strix_throughput_monotone_in_parallelism(self, study):
+        throughputs = [point.strix_pbs_per_s for point in study.points]
+        assert all(later >= earlier * 0.99 for earlier, later in zip(throughputs, throughputs[1:]))
+
+    def test_strix_beats_gpu_everywhere(self, study):
+        for point in study.points:
+            assert point.strix_pbs_per_s > point.gpu_pbs_per_s
+
+    def test_core_batching_pays_off_at_scale(self, study):
+        large = [p for p in study.points if p.available_ciphertexts >= 64]
+        assert all(point.core_batching_gain > 1.1 for point in large)
+
+    def test_saturation_point_within_sweep(self, study):
+        counts = [point.available_ciphertexts for point in study.points]
+        assert study.saturation_point() in counts
+
+    def test_single_ciphertext_offers_no_batching_gain(self, study):
+        single = study.points[0]
+        assert single.available_ciphertexts == 1
+        assert single.core_batching_gain == pytest.approx(1.0, rel=0.1)
+
+    def test_render(self, study):
+        text = study.render()
+        assert "core-batching gain" in text and "saturates" in text
+
+
+class TestUnrollingAblation:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return unrolling_ablation(PARAM_SET_I)
+
+    def test_iterations_shrink_with_unrolling(self, study):
+        iterations = [point.iterations for point in study.points]
+        assert iterations == sorted(iterations, reverse=True)
+
+    def test_key_size_grows_superlinearly(self, study):
+        sizes = [point.bootstrapping_key_mb for point in study.points]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 2 * sizes[0]
+
+    def test_bandwidth_demand_explodes(self, study):
+        by_factor = {point.unroll_factor: point for point in study.points}
+        assert by_factor[4].required_bandwidth_gbps > 4 * by_factor[1].required_bandwidth_gbps
+
+    def test_baseline_is_compute_bound_and_matches_strix(self, study):
+        baseline = study.points[0]
+        assert baseline.unroll_factor == 1
+        assert not baseline.memory_bound
+        assert baseline.throughput_pbs_per_s == pytest.approx(75000, rel=0.05)
+
+    def test_aggressive_unrolling_is_counterproductive(self, study):
+        by_factor = {point.unroll_factor: point for point in study.points}
+        assert by_factor[4].throughput_pbs_per_s < by_factor[1].throughput_pbs_per_s
+
+    def test_design_choice_confirmed(self, study):
+        """The paper's choice of no unrolling is the largest compute-bound point."""
+        assert study.best_compute_bound_factor() == 1
+
+    def test_render(self, study):
+        assert "unrolling" in study.render().lower()
+
+
+class TestEnergyComparison:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return energy_comparison()
+
+    def test_covers_all_parameter_sets(self, study):
+        assert [row.parameter_set for row in study.rows] == ["I", "II", "III", "IV"]
+
+    def test_strix_most_efficient_everywhere(self, study):
+        for row in study.rows:
+            assert row.strix_mj < row.gpu_mj < row.cpu_mj
+
+    def test_efficiency_gains_exceed_throughput_gains(self, study):
+        """Strix draws ~77 W vs a 280 W GPU, so the energy gain beats the
+        ~37x throughput gain."""
+        set_i = study.rows[0]
+        assert set_i.gain_vs_gpu > 37
+        assert set_i.gain_vs_cpu > 1000
+
+    def test_render(self, study):
+        text = study.render()
+        assert "Energy per PBS" in text and "Strix" in text

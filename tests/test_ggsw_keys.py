@@ -1,0 +1,168 @@
+"""Tests for GGSW ciphertexts, the external product / CMux, and key objects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.params import SMALL_PARAMETERS, TOY_PARAMETERS
+from repro.tfhe import torus
+from repro.tfhe.ggsw import GgswCiphertext, cmux, external_product
+from repro.tfhe.glwe import GlweCiphertext
+from repro.tfhe.keys import (
+    BootstrappingKey,
+    GlweSecretKey,
+    KeySwitchingKey,
+    LweSecretKey,
+)
+
+PARAMS = TOY_PARAMETERS
+
+
+@pytest.fixture(scope="module")
+def glwe_key():
+    return GlweSecretKey.generate(PARAMS, np.random.default_rng(21))
+
+
+@pytest.fixture(scope="module")
+def module_rng():
+    return np.random.default_rng(22)
+
+
+def _encrypted_message(glwe_key, message, rng, noise_std=None):
+    return GlweCiphertext.encrypt(message, glwe_key.polynomials, PARAMS, rng, noise_std)
+
+
+class TestGgsw:
+    def test_row_shape(self, glwe_key, module_rng):
+        ggsw = GgswCiphertext.encrypt(1, glwe_key.polynomials, PARAMS, module_rng)
+        assert ggsw.rows.shape == ((PARAMS.k + 1) * PARAMS.lb, PARAMS.k + 1, PARAMS.N)
+
+    def test_fourier_conversion_shape(self, glwe_key, module_rng):
+        ggsw = GgswCiphertext.encrypt(0, glwe_key.polynomials, PARAMS, module_rng)
+        fourier = ggsw.to_fourier()
+        assert fourier.spectra.shape == ((PARAMS.k + 1) * PARAMS.lb, PARAMS.k + 1, PARAMS.N // 2)
+
+    def test_external_product_by_one_preserves_message(self, glwe_key, module_rng):
+        message = torus.reduce(
+            np.arange(PARAMS.N, dtype=np.int64) % PARAMS.message_modulus * PARAMS.delta,
+            PARAMS.q,
+        )
+        glwe = _encrypted_message(glwe_key, message, module_rng)
+        ggsw = GgswCiphertext.encrypt(1, glwe_key.polynomials, PARAMS, module_rng)
+        result = external_product(ggsw, glwe)
+        error = torus.absolute_distance(result.phase(glwe_key.polynomials), message, PARAMS.q)
+        assert error.max() < PARAMS.delta // 2
+
+    def test_external_product_by_zero_kills_message(self, glwe_key, module_rng):
+        message = torus.reduce(
+            np.full(PARAMS.N, 3 * PARAMS.delta, dtype=np.int64), PARAMS.q
+        )
+        glwe = _encrypted_message(glwe_key, message, module_rng)
+        ggsw = GgswCiphertext.encrypt(0, glwe_key.polynomials, PARAMS, module_rng)
+        result = external_product(ggsw, glwe)
+        error = torus.absolute_distance(
+            result.phase(glwe_key.polynomials), np.zeros(PARAMS.N, dtype=np.int64), PARAMS.q
+        )
+        assert error.max() < PARAMS.delta // 2
+
+    def test_external_product_accepts_time_domain_ggsw(self, glwe_key, module_rng):
+        message = torus.reduce(np.full(PARAMS.N, PARAMS.delta, dtype=np.int64), PARAMS.q)
+        glwe = _encrypted_message(glwe_key, message, module_rng)
+        ggsw = GgswCiphertext.encrypt(1, glwe_key.polynomials, PARAMS, module_rng)
+        direct = external_product(ggsw, glwe)
+        via_fourier = ggsw.to_fourier().external_product(glwe)
+        np.testing.assert_array_equal(direct.body, via_fourier.body)
+
+    @pytest.mark.parametrize("bit, expected_selects_true", [(0, False), (1, True)])
+    def test_cmux_selects_correct_branch(self, glwe_key, module_rng, bit, expected_selects_true):
+        false_message = torus.reduce(np.full(PARAMS.N, 1 * PARAMS.delta, dtype=np.int64), PARAMS.q)
+        true_message = torus.reduce(np.full(PARAMS.N, 3 * PARAMS.delta, dtype=np.int64), PARAMS.q)
+        ct_false = _encrypted_message(glwe_key, false_message, module_rng)
+        ct_true = _encrypted_message(glwe_key, true_message, module_rng)
+        selector = GgswCiphertext.encrypt(bit, glwe_key.polynomials, PARAMS, module_rng)
+        selected = cmux(selector, ct_false, ct_true)
+        expected = true_message if expected_selects_true else false_message
+        error = torus.absolute_distance(selected.phase(glwe_key.polynomials), expected, PARAMS.q)
+        assert error.max() < PARAMS.delta // 2
+
+    def test_chained_cmux_noise_stays_decodable(self, glwe_key, module_rng):
+        """Repeated CMux with the same selector keeps the message decodable."""
+        message = torus.reduce(np.full(PARAMS.N, 2 * PARAMS.delta, dtype=np.int64), PARAMS.q)
+        accumulator = GlweCiphertext.trivial(message, PARAMS)
+        selector = GgswCiphertext.encrypt(1, glwe_key.polynomials, PARAMS, module_rng).to_fourier()
+        for _ in range(PARAMS.n):
+            rotated = accumulator.rotate(0)
+            accumulator = selector.cmux(accumulator, rotated)
+        error = torus.absolute_distance(accumulator.phase(glwe_key.polynomials), message, PARAMS.q)
+        assert error.max() < PARAMS.delta // 2
+
+    def test_invalid_row_shape_rejected(self):
+        with pytest.raises(ValueError):
+            GgswCiphertext(np.zeros((2, 2, PARAMS.N)), PARAMS)
+
+
+class TestSecretKeys:
+    def test_lwe_key_is_binary_and_sized(self, module_rng):
+        key = LweSecretKey.generate(PARAMS, module_rng)
+        assert key.dimension == PARAMS.n
+        assert set(np.unique(key.bits)).issubset({0, 1})
+
+    def test_lwe_key_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            LweSecretKey(np.array([0, 2, 1]), PARAMS)
+
+    def test_glwe_key_shape_and_flattening(self, module_rng):
+        key = GlweSecretKey.generate(PARAMS, module_rng)
+        assert key.polynomials.shape == (PARAMS.k, PARAMS.N)
+        flat = key.extracted_lwe_key()
+        assert flat.shape == (PARAMS.k * PARAMS.N,)
+        np.testing.assert_array_equal(flat[: PARAMS.N], key.polynomials[0])
+
+    def test_glwe_key_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            GlweSecretKey(np.zeros((PARAMS.k, PARAMS.N + 1), dtype=np.int64), PARAMS)
+
+    def test_glwe_key_rejects_non_binary(self):
+        polys = np.zeros((PARAMS.k, PARAMS.N), dtype=np.int64)
+        polys[0, 0] = 5
+        with pytest.raises(ValueError):
+            GlweSecretKey(polys, PARAMS)
+
+
+class TestEvaluationKeys:
+    def test_bootstrapping_key_length_and_size(self, toy_context):
+        bsk = toy_context.server_keys.bootstrapping_key
+        assert len(bsk) == PARAMS.n
+        assert bsk.size_bytes == PARAMS.bootstrapping_key_fourier_bytes
+
+    def test_bootstrapping_key_entries_encrypt_key_bits(self, toy_context):
+        """CMux with bsk[i] selects according to the i-th LWE key bit."""
+        bsk = toy_context.server_keys.bootstrapping_key
+        glwe_key = toy_context.glwe_key
+        rng = np.random.default_rng(99)
+        false_msg = torus.reduce(np.full(PARAMS.N, PARAMS.delta, dtype=np.int64), PARAMS.q)
+        true_msg = torus.reduce(np.full(PARAMS.N, 3 * PARAMS.delta, dtype=np.int64), PARAMS.q)
+        ct_false = GlweCiphertext.trivial(false_msg, PARAMS)
+        ct_true = GlweCiphertext.trivial(true_msg, PARAMS)
+        for index in [0, 1, PARAMS.n - 1]:
+            bit = int(toy_context.lwe_key.bits[index])
+            selected = bsk[index].cmux(ct_false, ct_true)
+            expected = true_msg if bit else false_msg
+            error = torus.absolute_distance(
+                selected.phase(glwe_key.polynomials), expected, PARAMS.q
+            )
+            assert error.max() < PARAMS.delta // 2
+
+    def test_keyswitching_key_shape(self, toy_context):
+        ksk = toy_context.server_keys.keyswitching_key
+        assert ksk.ciphertexts.shape == (PARAMS.k * PARAMS.N, PARAMS.lk, PARAMS.n + 1)
+        assert ksk.size_bytes == ksk.ciphertexts.size * 4
+
+    def test_keyswitching_key_shape_validation(self):
+        with pytest.raises(ValueError):
+            KeySwitchingKey(np.zeros((3, 3, 3), dtype=np.int64), PARAMS)
+
+    def test_server_keys_total_bytes(self, toy_context):
+        keys = toy_context.server_keys
+        assert keys.total_bytes == keys.bootstrapping_key.size_bytes + keys.keyswitching_key.size_bytes

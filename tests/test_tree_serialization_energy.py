@@ -1,0 +1,172 @@
+"""Tests for tree inference, serialization and the energy model."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.apps.tree_inference import (
+    DecisionNode,
+    DecisionTree,
+    HomomorphicTreeEvaluator,
+    Leaf,
+    tree_inference_graph,
+)
+from repro.arch.accelerator import StrixAccelerator
+from repro.arch.energy import EnergyModel
+from repro.params import PAPER_PARAMETER_SETS, PARAM_SET_I, TOY_PARAMETERS
+from repro.tfhe import serialization
+from repro.tfhe.keys import LweSecretKey
+
+
+class TestDecisionTree:
+    def _xor_like_tree(self) -> DecisionTree:
+        """feature0 >= 2 XOR feature1 >= 2 as a depth-2 tree."""
+        return DecisionTree(
+            root=DecisionNode(
+                feature=0,
+                threshold=2,
+                left=DecisionNode(feature=1, threshold=2, left=Leaf(0), right=Leaf(1)),
+                right=DecisionNode(feature=1, threshold=2, left=Leaf(1), right=Leaf(0)),
+            ),
+            num_features=2,
+        )
+
+    def test_plaintext_prediction(self):
+        tree = self._xor_like_tree()
+        assert tree.predict([0, 0]) == 0
+        assert tree.predict([3, 0]) == 1
+        assert tree.predict([0, 3]) == 1
+        assert tree.predict([3, 3]) == 0
+
+    def test_shape_accessors(self):
+        tree = self._xor_like_tree()
+        assert tree.depth() == 2
+        assert tree.internal_nodes() == 3
+
+    def test_random_tree_is_complete(self):
+        tree = DecisionTree.random(depth=3, num_features=4, params=TOY_PARAMETERS, seed=1)
+        assert tree.depth() == 3
+        assert tree.internal_nodes() == 7
+
+    def test_homomorphic_inference_matches_plaintext(self, toy_context):
+        tree = self._xor_like_tree()
+        evaluator = HomomorphicTreeEvaluator(toy_context, tree)
+        for features in itertools.product([0, 1, 2, 3], repeat=2):
+            assert evaluator.infer(list(features)) == tree.predict(list(features)), features
+
+    def test_random_tree_homomorphic_inference(self, toy_context):
+        tree = DecisionTree.random(depth=2, num_features=3, params=TOY_PARAMETERS, seed=4)
+        evaluator = HomomorphicTreeEvaluator(toy_context, tree)
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            features = [int(value) for value in rng.integers(0, 4, size=3)]
+            assert evaluator.infer(features) == tree.predict(features)
+
+    def test_pbs_count(self, toy_context):
+        tree = self._xor_like_tree()
+        evaluator = HomomorphicTreeEvaluator(toy_context, tree)
+        assert evaluator.pbs_count() == 3 * tree.internal_nodes()
+
+    def test_feature_count_validated(self, toy_context):
+        evaluator = HomomorphicTreeEvaluator(toy_context, self._xor_like_tree())
+        with pytest.raises(ValueError):
+            evaluator.evaluate([toy_context.encrypt(0)])
+
+    def test_forest_graph(self):
+        graph = tree_inference_graph(PARAM_SET_I, depth=3, trees=10, samples=100)
+        # comparisons: (1 + 2 + 4) * 1000; selections: 2 * (4 + 2 + 1) * 1000
+        assert graph.total_pbs() == 7 * 1000 + 14 * 1000
+        assert len(graph.levels()) == 6
+
+    def test_forest_graph_validation(self):
+        with pytest.raises(ValueError):
+            tree_inference_graph(PARAM_SET_I, depth=0, trees=1, samples=1)
+
+
+class TestSerialization:
+    def test_lwe_ciphertext_roundtrip(self, toy_context, tmp_path):
+        ciphertexts = [toy_context.encrypt(m) for m in (0, 1, 2, 3)]
+        path = tmp_path / "cts.npz"
+        serialization.save_lwe_ciphertexts(path, ciphertexts)
+        loaded = serialization.load_lwe_ciphertexts(path, TOY_PARAMETERS)
+        assert [toy_context.decrypt(ct) for ct in loaded] == [0, 1, 2, 3]
+
+    def test_empty_batch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            serialization.save_lwe_ciphertexts(tmp_path / "x.npz", [])
+
+    def test_mixed_dimensions_rejected(self, toy_context, tmp_path):
+        from repro.tfhe.lwe import LweCiphertext
+
+        mixed = [toy_context.encrypt(0), LweCiphertext.trivial(0, 5, TOY_PARAMETERS)]
+        with pytest.raises(ValueError):
+            serialization.save_lwe_ciphertexts(tmp_path / "x.npz", mixed)
+
+    def test_parameter_mismatch_detected(self, toy_context, tmp_path):
+        from repro.params import SMALL_PARAMETERS
+
+        path = tmp_path / "cts.npz"
+        serialization.save_lwe_ciphertexts(path, [toy_context.encrypt(1)])
+        with pytest.raises(ValueError):
+            serialization.load_lwe_ciphertexts(path, SMALL_PARAMETERS)
+
+    def test_bootstrapping_key_roundtrip_still_bootstraps(self, toy_context, tmp_path):
+        keys = toy_context.server_keys
+        bsk_path = tmp_path / "bsk.npz"
+        serialization.save_bootstrapping_key(bsk_path, keys.bootstrapping_key)
+        restored = serialization.load_bootstrapping_key(bsk_path, TOY_PARAMETERS)
+        from repro.tfhe.bootstrap import programmable_bootstrap
+
+        result = programmable_bootstrap(
+            toy_context.encrypt(2),
+            lambda m: (m + 1) % 4,
+            restored,
+            TOY_PARAMETERS,
+            keys.keyswitching_key,
+        )
+        assert toy_context.decrypt(result.ciphertext) == 3
+
+    def test_keyswitching_key_roundtrip(self, toy_context, tmp_path):
+        keys = toy_context.server_keys
+        path = tmp_path / "ksk.npz"
+        serialization.save_keyswitching_key(path, keys.keyswitching_key)
+        restored = serialization.load_keyswitching_key(path, TOY_PARAMETERS)
+        np.testing.assert_array_equal(restored.ciphertexts, keys.keyswitching_key.ciphertexts)
+
+    def test_secret_key_roundtrip(self, tmp_path, rng):
+        key = LweSecretKey.generate(TOY_PARAMETERS, rng)
+        path = tmp_path / "sk.npz"
+        serialization.save_lwe_secret_key(path, key)
+        restored = serialization.load_lwe_secret_key(path, TOY_PARAMETERS)
+        np.testing.assert_array_equal(restored.bits, key.bits)
+
+    def test_serialized_sizes_match_table_i_scale(self):
+        sizes = serialization.serialized_sizes(PARAM_SET_I)
+        assert sizes["lwe_ciphertext"] < 16 * 1024                     # KB level
+        assert 10 * 2 ** 20 < sizes["bootstrapping_key"] < 500 * 2 ** 20  # 10s-100s MB
+        assert sizes["ggsw_ciphertext"] == PARAM_SET_I.ggsw_ciphertext_bytes
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return EnergyModel(StrixAccelerator())
+
+    def test_energy_per_pbs_increases_with_parameter_size(self, model):
+        energies = [model.energy_per_pbs_mj(PAPER_PARAMETER_SETS[name]) for name in ("I", "II", "III", "IV")]
+        assert energies == sorted(energies)
+        assert energies[0] > 0
+
+    def test_workload_energy(self, model):
+        assert model.workload_energy_j(2.0) == pytest.approx(2.0 * model.chip_power_w)
+
+    def test_strix_more_efficient_than_cpu_and_gpu(self, model):
+        comparison = model.compare_with_baselines(PARAM_SET_I)
+        assert comparison.gain_vs_cpu > 1000
+        assert comparison.gain_vs_gpu > 50
+
+    def test_chip_power_from_table_iii(self, model):
+        assert model.chip_power_w == pytest.approx(77.14, rel=0.05)
