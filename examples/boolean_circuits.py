@@ -13,59 +13,53 @@ from __future__ import annotations
 
 import time
 
+from repro import Session, run
 from repro.apps.boolean_circuits import Comparator, RippleCarryAdder, boolean_circuit_graph
-from repro.arch.accelerator import StrixAccelerator
-from repro.baselines.gpu_model import NuFheGpuModel
-from repro.params import PARAM_SET_I, TOY_PARAMETERS
-from repro.sim.scheduler import StrixScheduler
-from repro.tfhe import TFHEContext
+from repro.params import PARAM_SET_I
 
 
-def encrypt_number(context: TFHEContext, value: int, bits: int):
+def encrypt_number(session: Session, value: int, bits: int):
     """Encrypt an integer as little-endian boolean ciphertexts."""
-    return [context.encrypt_boolean(bool((value >> i) & 1)) for i in range(bits)]
+    return session.encrypt_boolean_batch([bool((value >> i) & 1) for i in range(bits)])
 
 
-def decrypt_number(context: TFHEContext, ciphertexts) -> int:
+def decrypt_number(session: Session, ciphertexts) -> int:
     """Decrypt little-endian boolean ciphertexts back to an integer."""
-    return sum(int(context.decrypt_boolean(ct)) << i for i, ct in enumerate(ciphertexts))
+    return sum(int(bit) << i for i, bit in enumerate(session.decrypt_boolean_batch(ciphertexts)))
 
 
 def functional_demo() -> None:
     print("== Encrypted 4-bit arithmetic (TOY parameters) ==")
-    context = TFHEContext(TOY_PARAMETERS, seed=3)
-    context.generate_server_keys()
-    gates = context.gates()
-    adder = RippleCarryAdder(gates)
-    comparator = Comparator(gates)
+    session = Session("TOY", seed=3)
+    session.generate_server_keys()
+    adder = RippleCarryAdder(session.gates())
+    comparator = Comparator(session.gates())
 
     a, b = 11, 6
     bits = 4
     start = time.perf_counter()
-    encrypted_sum = adder.add(encrypt_number(context, a, bits), encrypt_number(context, b, bits))
-    total = decrypt_number(context, encrypted_sum)
+    encrypted_sum = adder.add(encrypt_number(session, a, bits), encrypt_number(session, b, bits))
+    total = decrypt_number(session, encrypted_sum)
     elapsed = time.perf_counter() - start
     print(f"{a} + {b} = {total}   ({RippleCarryAdder.gate_count(bits)} gate bootstraps, {elapsed:.2f} s)")
 
     greater = comparator.greater_than(
-        encrypt_number(context, a, bits), encrypt_number(context, b, bits)
+        encrypt_number(session, a, bits), encrypt_number(session, b, bits)
     )
-    equal = comparator.equals(encrypt_number(context, b, bits), encrypt_number(context, b, bits))
-    print(f"{a} > {b}  -> {context.decrypt_boolean(greater)}")
-    print(f"{b} == {b} -> {context.decrypt_boolean(equal)}\n")
+    equal = comparator.equals(encrypt_number(session, b, bits), encrypt_number(session, b, bits))
+    print(f"{a} > {b}  -> {session.decrypt_boolean(greater)}")
+    print(f"{b} == {b} -> {session.decrypt_boolean(equal)}\n")
 
 
 def acceleration_projection() -> None:
     print("== Projected execution of 1,024 encrypted 32-bit additions ==")
-    scheduler = StrixScheduler(StrixAccelerator())
-    gpu = NuFheGpuModel()
     graph = boolean_circuit_graph(PARAM_SET_I, "adder", bits=32, instances=1024)
-    strix_time = scheduler.run(graph).total_time_s
-    gpu_time = gpu.execute_graph(graph)
-    print(f"gate bootstraps:   {graph.total_pbs():,}")
-    print(f"Strix:             {strix_time * 1e3:10.1f} ms")
-    print(f"GPU (NuFHE model): {gpu_time * 1e3:10.1f} ms")
-    print(f"speedup:           {gpu_time / strix_time:10.1f}x")
+    strix = run(graph, backend="strix-sim")
+    gpu = run(graph, backend="gpu-analytical")
+    print(f"gate bootstraps:   {strix.pbs_count:,}")
+    print(strix.render())
+    print(gpu.render())
+    print(f"speedup:           {gpu.latency_s / strix.latency_s:10.1f}x")
 
 
 def main() -> None:

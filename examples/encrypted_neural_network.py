@@ -16,18 +16,18 @@ from __future__ import annotations
 
 import time
 
+from repro import Session, run
 from repro.analysis.deep_nn_benchmark import deep_nn_benchmark
 from repro.apps.deep_nn import EncryptedMLP, ZAMA_DEEP_NN_MODELS
-from repro.params import DEEP_NN_PARAMETER_SETS, TOY_PARAMETERS
-from repro.tfhe import TFHEContext
+from repro.params import DEEP_NN_PARAMETER_SETS
 
 
 def functional_inference() -> None:
     """Run a real (tiny) homomorphic MLP end to end."""
     print("== Functional homomorphic inference (TOY parameters) ==")
-    context = TFHEContext(TOY_PARAMETERS, seed=11)
-    context.generate_server_keys()
-    mlp = EncryptedMLP(context, layer_sizes=[4, 3, 2], weight_magnitude=1, seed=5)
+    session = Session("TOY", seed=11)
+    session.generate_server_keys()
+    mlp = EncryptedMLP(session, layer_sizes=[4, 3, 2], weight_magnitude=1, seed=5)
 
     inputs = [1, 0, 1, 1]
     start = time.perf_counter()
@@ -45,6 +45,10 @@ def functional_inference() -> None:
 def performance_projection() -> None:
     """Project the full Deep-NN models onto Strix and the baselines."""
     print("== Fig. 7 projection: Zama Deep-NN on CPU / GPU / Strix ==")
+    # A single model is one `run()` call away (workloads resolve by name):
+    nn20 = run("NN-20", backend="strix-sim")
+    print(f"single NN-20 inference on Strix: {nn20.latency_ms:.1f} ms "
+          f"({nn20.pbs_count:,} PBS)\n")
     result = deep_nn_benchmark(
         models=ZAMA_DEEP_NN_MODELS, parameter_sets=DEEP_NN_PARAMETER_SETS
     )

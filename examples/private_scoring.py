@@ -14,15 +14,13 @@ from __future__ import annotations
 
 import time
 
+from repro import get_backend, run
 from repro.apps.tree_inference import (
     DecisionTree,
     HomomorphicTreeEvaluator,
     tree_inference_graph,
 )
-from repro.arch.accelerator import StrixAccelerator
-from repro.baselines.cpu_model import ConcreteCpuModel
 from repro.params import PARAM_SET_I, TOY_PARAMETERS
-from repro.sim.scheduler import StrixScheduler
 from repro.tfhe import TFHEContext
 from repro.tfhe.integer import RadixIntegerCodec
 
@@ -63,11 +61,14 @@ def homomorphic_forest_scoring() -> None:
 def acceleration_projection() -> None:
     print("== Projected scoring of 10,000 customers on a 100-tree forest ==")
     graph = tree_inference_graph(PARAM_SET_I, depth=6, trees=100, samples=10_000)
-    strix_time = StrixScheduler(StrixAccelerator()).run(graph).total_time_s
-    cpu_time = ConcreteCpuModel(threads=48).execute_graph(graph)
+    strix = run(graph, backend="strix-sim")
+    cpu = run(graph, backend=get_backend("cpu-analytical", threads=48))
     print(f"programmable bootstraps: {graph.total_pbs():,}")
-    print(f"CPU (48 threads):        {cpu_time:8.1f} s")
-    print(f"Strix:                   {strix_time:8.1f} s   ({cpu_time / strix_time:.0f}x faster)")
+    print(f"CPU (48 threads):        {cpu.latency_s:8.1f} s")
+    print(
+        f"Strix:                   {strix.latency_s:8.1f} s   "
+        f"({cpu.latency_s / strix.latency_s:.0f}x faster)"
+    )
 
 
 def main() -> None:

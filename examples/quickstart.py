@@ -1,9 +1,11 @@
-"""Quickstart: encrypt, compute homomorphically, bootstrap, decrypt.
+"""Quickstart: the unified batch-first runtime in one script.
 
-Runs on the fast TOY parameter set so the whole script finishes in a couple
-of seconds.  It walks through the core TFHE capabilities the paper relies
-on: encrypted arithmetic, programmable bootstrapping of an arbitrary
-univariate function, and gate bootstrapping.
+Walks the new front door of the reproduction: a :class:`repro.Session` owns
+the keys and provides *batch* encrypt / decrypt / bootstrap (sized to the
+paper's device x core batch geometry), and :func:`repro.run` executes one
+workload definition on every backend — functionally on the real TFHE
+implementation, cycle-level on the Strix simulator, and on the CPU / GPU
+analytical baselines.
 
 Run with:  python examples/quickstart.py
 """
@@ -12,52 +14,67 @@ from __future__ import annotations
 
 import time
 
-from repro.params import TOY_PARAMETERS
-from repro.tfhe import TFHEContext
+from repro import Session, run
+from repro.sim.compiler import full_adder_netlist
 from repro.tfhe.lut import LookUpTable
 
 
 def main() -> None:
     print("== Strix reproduction quickstart ==")
-    print(f"Parameter set: {TOY_PARAMETERS.describe()}\n")
 
-    # 1. Key generation -------------------------------------------------------
+    # 1. A session owns the keys (client/server split) and the batch geometry.
     start = time.perf_counter()
-    context = TFHEContext(TOY_PARAMETERS, seed=42)
-    keys = context.generate_server_keys()
+    session = Session("TOY", seed=42)
+    keys = session.generate_server_keys()
     print(
         f"Key generation took {time.perf_counter() - start:.2f} s "
         f"(evaluation keys: {keys.total_bytes / 1024:.0f} KiB)"
     )
+    print(
+        f"Batch geometry: {session.device_batch_size} cores x "
+        f"{session.core_batch_size} LWEs/core = {session.batch_capacity} LWEs/epoch\n"
+    )
 
-    # 2. Encrypted arithmetic --------------------------------------------------
-    a, b = 1, 2
-    ct_a, ct_b = context.encrypt(a), context.encrypt(b)
-    ct_sum = ct_a + ct_b
-    print(f"Enc({a}) + Enc({b}) decrypts to {context.decrypt(ct_sum)}")
+    # 2. Batch encryption and encrypted arithmetic.
+    messages = [0, 1, 2, 3, 1, 2]
+    ciphertexts = session.encrypt_batch(messages)
+    total = ciphertexts[0] + ciphertexts[1]
+    print(f"encrypt_batch({messages}) -> decrypt_batch = {session.decrypt_batch(ciphertexts)}")
+    print(f"Enc({messages[0]}) + Enc({messages[1]}) decrypts to {session.decrypt(total)}")
 
-    # 3. Programmable bootstrapping --------------------------------------------
-    p = TOY_PARAMETERS.message_modulus
-    square = LookUpTable.from_function(lambda m: (m * m) % p, TOY_PARAMETERS)
-    start = time.perf_counter()
-    ct_square = context.apply_lut(context.encrypt(3), square)
-    elapsed = time.perf_counter() - start
-    print(f"PBS computed 3^2 mod {p} = {context.decrypt(ct_square)} in {elapsed * 1e3:.1f} ms")
+    # 3. Batch programmable bootstrapping: one function over many ciphertexts.
+    p = session.params.message_modulus
+    squared = session.bootstrap_batch(ciphertexts, lambda m: (m * m) % p)
+    print(f"bootstrap_batch(x^2 mod {p}) = {session.decrypt_batch(squared)}")
+    square_lut = LookUpTable.from_function(lambda m: (m * m) % p, session.params)
+    assert session.decrypt_batch(session.apply_lut_batch(ciphertexts, square_lut)) == [
+        (m * m) % p for m in messages
+    ]
 
-    # Any univariate function works: evaluate a threshold during bootstrapping.
-    is_large = context.programmable_bootstrap(context.encrypt(2), lambda m: 1 if m >= 2 else 0)
-    print(f"threshold(2 >= 2) = {context.decrypt(is_large.ciphertext)}")
+    # 4. Vectorized gate application (every output is a real bootstrap).
+    lhs = session.encrypt_boolean_batch([True, True, False])
+    rhs = session.encrypt_boolean_batch([True, False, False])
+    for gate in ("and", "xor", "nand"):
+        outputs = session.decrypt_boolean_batch(session.gate_batch(gate, lhs, rhs))
+        print(f"gate_batch({gate!r:>7}, [T,T,F], [T,F,F]) = {outputs}")
 
-    # 4. Gate bootstrapping -----------------------------------------------------
-    gates = context.gates()
-    x = context.encrypt_boolean(True)
-    y = context.encrypt_boolean(False)
-    print(f"NAND(True, False) = {context.decrypt_boolean(gates.nand(x, y))}")
-    print(f"XOR(True, False)  = {context.decrypt_boolean(gates.xor(x, y))}")
-    print(f"MUX(True, x=True, y=False) = {context.decrypt_boolean(gates.mux(x, x, y))}")
+    # 5. One netlist, every backend.  The 2-bit adder below computes 1 + 3.
+    adder = full_adder_netlist(session.params, bits=2)
+    inputs = {"a0": True, "a1": False, "b0": True, "b1": True}
+    print("\n== One workload, three execution backends ==")
+    functional = run(adder, backend="reference", session=session, inputs=inputs)
+    bits = functional.outputs[0]
+    value = int(bits["axb0"]) + 2 * int(bits["s1"]) + 4 * int(bits["c1"])
+    print(f"reference (functional): 1 + 3 = {value}  [decrypted {bits}]")
+
+    # The same netlist, rebound to parameter set I and batched over 1,024
+    # independent instances, on the simulator and the analytical baselines.
+    for backend in ("strix-sim", "gpu-analytical", "cpu-analytical"):
+        result = run(adder, backend=backend, params="I", instances=1024)
+        print(result.render())
 
     print("\nEvery gate output above was produced by a programmable bootstrap —")
-    print("the operation Strix accelerates by 1,067x over a CPU (see the benchmarks/).")
+    print("the operation Strix accelerates by three orders of magnitude over a CPU.")
 
 
 if __name__ == "__main__":

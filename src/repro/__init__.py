@@ -4,6 +4,10 @@ A from-scratch Python reproduction of "Strix: An End-to-End Streaming
 Architecture with Two-Level Ciphertext Batching for Fully Homomorphic
 Encryption with Programmable Bootstrapping" (MICRO 2023):
 
+* :mod:`repro.runtime` — the unified batch-first execution API: a
+  :class:`Session` owning keys and batch encrypt/decrypt/bootstrap, and a
+  :func:`run` facade executing any workload on the ``"reference"``,
+  ``"strix-sim"`` and ``"cpu-analytical"`` / ``"gpu-analytical"`` backends.
 * :mod:`repro.tfhe` — a functional TFHE implementation (LWE/GLWE/GGSW,
   blind rotation, programmable bootstrapping, keyswitching, gates, LUTs).
 * :mod:`repro.fft` — negacyclic FFT transforms including the folding scheme.
@@ -29,8 +33,19 @@ from repro.params import (
     TFHEParameters,
     get_parameters,
 )
+from repro.runtime import (
+    Backend,
+    RunResult,
+    Session,
+    compare,
+    get_backend,
+    list_backends,
+    run,
+)
+from repro.sim.compiler import Netlist
+from repro.tfhe.context import ServerKeys, TFHEContext
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TFHEParameters",
@@ -42,5 +57,15 @@ __all__ = [
     "TOY_PARAMETERS",
     "SMALL_PARAMETERS",
     "get_parameters",
+    "Backend",
+    "Netlist",
+    "RunResult",
+    "ServerKeys",
+    "Session",
+    "TFHEContext",
+    "compare",
+    "get_backend",
+    "list_backends",
+    "run",
     "__version__",
 ]

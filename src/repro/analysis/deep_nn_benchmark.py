@@ -1,8 +1,9 @@
 """Fig. 7 reproduction: Zama Deep-NN execution time on CPU, GPU and Strix.
 
 For each of the NN-20 / NN-50 / NN-100 models and each polynomial degree
-(1024, 2048, 4096) the Deep-NN computation graph is executed on the
-multi-threaded CPU model, the 72-SM GPU model and the Strix scheduler; the
+(1024, 2048, 4096) the Deep-NN computation graph is executed through the
+:mod:`repro.runtime` backends — the multi-threaded CPU model, the 72-SM GPU
+model and the Strix simulator — with one workload definition; the
 result is the grouped bar chart of Fig. 7, reported here as a table plus the
 speedup summary the paper quotes (Strix 33-38x over CPU, 8-17x over GPU).
 """
@@ -13,10 +14,8 @@ from dataclasses import dataclass
 
 from repro.apps.deep_nn import ZAMA_DEEP_NN_MODELS, DeepNNModel, build_deep_nn_graph
 from repro.arch.accelerator import StrixAccelerator
-from repro.baselines.cpu_model import ConcreteCpuModel
-from repro.baselines.gpu_model import NuFheGpuModel
 from repro.params import DEEP_NN_PARAMETER_SETS, TFHEParameters
-from repro.sim.scheduler import StrixScheduler
+from repro.runtime import AnalyticalBackend, StrixSimBackend
 
 
 @dataclass(frozen=True)
@@ -94,26 +93,28 @@ def deep_nn_benchmark(
     """
     models = models or ZAMA_DEEP_NN_MODELS
     parameter_sets = parameter_sets or DEEP_NN_PARAMETER_SETS
-    accelerator = accelerator or StrixAccelerator()
-    cpu = ConcreteCpuModel(threads=cpu_threads)
-    gpu = NuFheGpuModel()
-    scheduler = StrixScheduler(accelerator)
+    backends = {
+        "cpu": AnalyticalBackend("cpu", threads=cpu_threads),
+        "gpu": AnalyticalBackend("gpu"),
+        "strix": StrixSimBackend(accelerator),
+    }
 
     results = []
     for model_name, model in models.items():
         for degree, params in parameter_sets.items():
             graph = build_deep_nn_graph(model, params)
-            cpu_time = cpu.execute_graph(graph)
-            gpu_time = gpu.execute_graph(graph)
-            strix_time = scheduler.run(graph).total_time_s
+            times_ms = {
+                name: backend.run(graph).latency_ms
+                for name, backend in backends.items()
+            }
             results.append(
                 DeepNNResult(
                     model=model_name,
                     polynomial_degree=degree,
                     pbs_count=graph.total_pbs(),
-                    cpu_time_ms=cpu_time * 1e3,
-                    gpu_time_ms=gpu_time * 1e3,
-                    strix_time_ms=strix_time * 1e3,
+                    cpu_time_ms=times_ms["cpu"],
+                    gpu_time_ms=times_ms["gpu"],
+                    strix_time_ms=times_ms["strix"],
                 )
             )
     return DeepNNBenchmark(results=results, cpu_threads=cpu_threads)

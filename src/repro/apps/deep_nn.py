@@ -20,6 +20,7 @@ This module provides both views of the workload:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from repro.sim.graph import ComputationGraph
 from repro.tfhe.context import TFHEContext
 from repro.tfhe.lut import LookUpTable, relu_lut
 from repro.tfhe.lwe import LweCiphertext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime import cycle
+    from repro.runtime.session import Session
 
 
 @dataclass(frozen=True)
@@ -130,11 +134,15 @@ class EncryptedMLP:
     accumulator back into the message range.  It is intentionally tiny — the
     full Zama models would take hours in pure Python — but it executes the
     exact same homomorphic operation sequence per neuron.
+
+    ``context`` is anything with the encrypt / decrypt / ``apply_lut``
+    surface: a :class:`~repro.tfhe.context.TFHEContext` or a key-owning
+    :class:`~repro.runtime.session.Session`.
     """
 
     def __init__(
         self,
-        context: TFHEContext,
+        context: Union[TFHEContext, "Session"],
         layer_sizes: list[int],
         weight_magnitude: int = 1,
         seed: int = 0,

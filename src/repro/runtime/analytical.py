@@ -1,0 +1,80 @@
+"""Analytical baseline backends: the paper's CPU and GPU cost models.
+
+Wraps :class:`~repro.baselines.cpu_model.ConcreteCpuModel` and
+:class:`~repro.baselines.gpu_model.NuFheGpuModel` behind the common backend
+interface so baseline comparisons are one ``backend=`` argument away from a
+Strix simulation of the same workload.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.arch.energy import CPU_POWER_W, GPU_POWER_W
+from repro.baselines.cpu_model import ConcreteCpuModel
+from repro.baselines.gpu_model import NuFheGpuModel
+from repro.params import TFHEParameters
+from repro.runtime.backend import Backend, register_backend
+from repro.runtime.result import RunResult
+from repro.runtime.session import Session
+from repro.runtime.workload import WorkloadLike, as_graph
+
+
+class AnalyticalBackend(Backend):
+    """Executes workloads on an analytical platform cost model.
+
+    Parameters
+    ----------
+    platform:
+        ``"cpu"`` (Concrete-library model) or ``"gpu"`` (NuFHE model).
+    threads:
+        CPU thread count (ignored for the GPU).
+    streaming_multiprocessors:
+        GPU SM count (ignored for the CPU).
+    """
+
+    name = "analytical"
+
+    def __init__(
+        self,
+        platform: str = "cpu",
+        threads: int = 1,
+        streaming_multiprocessors: int | None = None,
+    ):
+        if platform not in ("cpu", "gpu"):
+            raise ValueError(f"unknown platform {platform!r}; expected 'cpu' or 'gpu'")
+        self.platform = platform
+        self.name = f"{platform}-analytical"
+        if platform == "cpu":
+            self.model = ConcreteCpuModel(threads=threads)
+            self._power_w = CPU_POWER_W
+        else:
+            self.model = NuFheGpuModel(streaming_multiprocessors)
+            self._power_w = GPU_POWER_W
+
+    def run(
+        self,
+        workload: WorkloadLike,
+        *,
+        params: TFHEParameters | str | None = None,
+        session: Session | None = None,
+        inputs: Any = None,
+        instances: int = 1,
+        **options: Any,
+    ) -> RunResult:
+        """Estimate ``workload`` execution time on the modeled platform."""
+        graph = as_graph(workload, params, instances)
+        latency_s = self.model.execute_graph(graph)
+        return RunResult(
+            workload=graph.name,
+            backend=self.name,
+            parameter_set=graph.params.name,
+            latency_s=latency_s,
+            pbs_count=graph.total_pbs(),
+            energy_j=self._power_w * latency_s,
+            details={"platform": self.platform, "model": type(self.model).__name__},
+        )
+
+
+register_backend("cpu-analytical", lambda **options: AnalyticalBackend("cpu", **options))
+register_backend("gpu-analytical", lambda **options: AnalyticalBackend("gpu", **options))

@@ -1,0 +1,87 @@
+"""Backend protocol and named registry.
+
+A *backend* is anything that can execute a workload and report a
+:class:`~repro.runtime.result.RunResult`: the functional TFHE interpreter,
+the cycle-level Strix simulator, or an analytical platform model.  Backends
+register themselves under short names (``"reference"``, ``"strix-sim"``,
+``"cpu-analytical"``, ``"gpu-analytical"``) so callers select execution
+targets by string — the pluggability every scaling layer (sharding, async
+serving) builds on.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Callable, ClassVar
+
+from repro.params import TFHEParameters
+from repro.runtime.result import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.runtime.session import Session
+
+
+class Backend(abc.ABC):
+    """Executes workloads; every concrete backend implements :meth:`run`."""
+
+    #: Registry name of the backend (set by subclasses).
+    name: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def run(
+        self,
+        workload: Any,
+        *,
+        params: TFHEParameters | str | None = None,
+        session: "Session | None" = None,
+        inputs: Any = None,
+        instances: int = 1,
+        **options: Any,
+    ) -> RunResult:
+        """Execute ``workload`` and return a :class:`RunResult`.
+
+        Backends accept the full keyword set and ignore what they do not
+        model (the simulator has no use for ``inputs``; the functional
+        interpreter has no use for resource options), so one call signature
+        works across all of them.
+        """
+
+
+_REGISTRY: dict[str, Callable[..., Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., Backend]) -> None:
+    """Register a backend factory under ``name``.
+
+    ``factory`` is called with the keyword arguments given to
+    :func:`get_backend` and must return a :class:`Backend`.  Re-registering
+    an existing name replaces the factory (deliberate: tests and downstream
+    deployments swap implementations in).
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (no-op when absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def list_backends() -> list[str]:
+    """Names of all registered backends, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str, **factory_options: Any) -> Backend:
+    """Instantiate the backend registered under ``name``.
+
+    Raises ``KeyError`` listing the known names when ``name`` is unknown.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; registered backends: {list_backends()}"
+        ) from None
+    return factory(**factory_options)

@@ -1,0 +1,198 @@
+"""Reference backend: functional execution on the real TFHE substrate.
+
+Interprets a :class:`~repro.sim.compiler.Netlist` operation by operation with
+the actual gates / PBS / linear arithmetic of :mod:`repro.tfhe` — every gate
+output is a real bootstrap.  This is the ground truth the performance
+backends are modeled against: the same netlist the simulator costs can be
+decrypted and checked here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping, Sequence
+
+from repro.params import TFHEParameters
+from repro.runtime.backend import Backend, register_backend
+from repro.runtime.result import RunResult
+from repro.runtime.session import _GATE_METHODS, Session
+from repro.runtime.workload import WorkloadLike, as_netlist
+from repro.sim.compiler import Netlist, Operation
+from repro.tfhe.lut import LookUpTable
+from repro.tfhe.lwe import LweCiphertext
+
+#: How a wire's ciphertext is decoded: gate outputs (and boolean inputs) use
+#: the ``±q/8`` gate-bootstrapping encoding, integer inputs and LUT/linear
+#: outputs the message encoding.  Pre-encrypted ciphertexts passed straight
+#: in are untyped — the caller vouches for their encoding — and decode as
+#: messages if read back directly.
+_BOOLEAN, _MESSAGE, _ANY = "boolean", "message", "any"
+
+#: Default sessions for key-less reference runs, keyed by parameter set, so
+#: repeated ``run(netlist, backend="reference")`` calls reuse the (expensive)
+#: evaluation keys instead of regenerating them per call.
+_DEFAULT_SESSIONS: dict[TFHEParameters, Session] = {}
+
+
+def _default_session(params: TFHEParameters) -> Session:
+    if params not in _DEFAULT_SESSIONS:
+        _DEFAULT_SESSIONS[params] = Session(params, seed=0)
+    return _DEFAULT_SESSIONS[params]
+
+
+class ReferenceBackend(Backend):
+    """Functionally executes netlists with the real TFHE implementation."""
+
+    name = "reference"
+
+    def run(
+        self,
+        workload: WorkloadLike,
+        *,
+        params: TFHEParameters | str | None = None,
+        session: Session | None = None,
+        inputs: Mapping[str, Any] | Sequence[Mapping[str, Any]] | None = None,
+        instances: int = 1,
+        outputs: Sequence[str] | None = None,
+        **options: Any,
+    ) -> RunResult:
+        """Execute a netlist functionally and decrypt its outputs.
+
+        ``inputs`` maps primary-input wires to plaintext values (``bool`` for
+        the gate encoding, ``int`` for the message encoding) or to
+        pre-encrypted ciphertexts; missing wires default to ``False``.  Pass
+        a list of mappings to execute several independent instances — the
+        batch the accelerator would fold into one epoch.
+        """
+        netlist = as_netlist(workload, params)
+        if session is None:
+            session = _default_session(netlist.params)
+        elif session.params != netlist.params:
+            raise ValueError(
+                f"session parameter set {session.params.name!r} does not match "
+                f"the workload's {netlist.params.name!r}"
+            )
+        session.generate_server_keys()
+
+        if inputs is None:
+            input_batches: list[Mapping[str, Any]] = [{}] * max(instances, 1)
+        elif isinstance(inputs, Mapping):
+            input_batches = [inputs] * max(instances, 1)
+        else:
+            input_batches = list(inputs)
+            if instances != 1 and instances != len(input_batches):
+                raise ValueError(
+                    f"instances={instances} conflicts with {len(input_batches)} input mappings"
+                )
+        output_wires = list(outputs) if outputs is not None else netlist.output_wires()
+        # LUT tables depend only on (function, params): tabulate each one once
+        # for the whole instance batch.
+        luts = {
+            index: LookUpTable.from_function(
+                operation.function or (lambda m: m), netlist.params
+            )
+            for index, operation in enumerate(netlist.operations)
+            if operation.kind == "lut"
+        }
+
+        start = time.perf_counter()
+        decrypted: list[dict[str, int | bool]] = [
+            self._execute_instance(netlist, session, instance_inputs, output_wires, luts)
+            for instance_inputs in input_batches
+        ]
+        elapsed = time.perf_counter() - start
+
+        pbs_count = netlist.pbs_count() * len(input_batches)
+        return RunResult(
+            workload=netlist.name,
+            backend=self.name,
+            parameter_set=netlist.params.name,
+            latency_s=elapsed,
+            pbs_count=pbs_count,
+            outputs=decrypted,
+            details={"instances": len(input_batches), "wall_clock": True},
+        )
+
+    # -- interpreter ----------------------------------------------------------------
+
+    def _execute_instance(
+        self,
+        netlist: Netlist,
+        session: Session,
+        inputs: Mapping[str, Any],
+        output_wires: Sequence[str],
+        luts: Mapping[int, LookUpTable],
+    ) -> dict[str, int | bool]:
+        values: dict[str, LweCiphertext] = {}
+        tags: dict[str, str] = {}
+        for wire in netlist.primary_inputs:
+            value = inputs.get(wire, False)
+            if isinstance(value, LweCiphertext):
+                values[wire], tags[wire] = value, _ANY
+            elif isinstance(value, bool):
+                values[wire], tags[wire] = session.encrypt_boolean(value), _BOOLEAN
+            else:
+                values[wire], tags[wire] = session.encrypt(int(value)), _MESSAGE
+
+        for index, operation in enumerate(netlist.operations):
+            values[operation.output], tags[operation.output] = self._apply(
+                operation, session, values, tags, luts.get(index)
+            )
+
+        result: dict[str, int | bool] = {}
+        for wire in output_wires:
+            if wire not in values:
+                raise KeyError(f"requested output wire {wire!r} was never produced")
+            if tags[wire] == _BOOLEAN:
+                result[wire] = session.decrypt_boolean(values[wire])
+            else:
+                result[wire] = session.decrypt(values[wire])
+        return result
+
+    def _apply(
+        self,
+        operation: Operation,
+        session: Session,
+        values: dict[str, LweCiphertext],
+        tags: dict[str, str],
+        lut: LookUpTable | None,
+    ) -> tuple[LweCiphertext, str]:
+        operands = [values[wire] for wire in operation.inputs]
+        # Gates work in the ±q/8 boolean encoding; LUT and linear operations
+        # in the integer message encoding.  A wire crossing domains would
+        # decode to garbage silently — the one thing a ground-truth backend
+        # must never do — so mixing is rejected loudly.  Untyped passthrough
+        # ciphertexts (tag "any") are the caller's responsibility.
+        wrong_tag = _MESSAGE if operation.kind == "gate" else _BOOLEAN
+        mismatched = [w for w in operation.inputs if tags[w] == wrong_tag]
+        if mismatched:
+            raise ValueError(
+                f"{operation.kind} operation {operation.output!r} consumes "
+                f"{wrong_tag}-encoded wire(s) {mismatched}; gates use the ±q/8 "
+                "boolean encoding while lut/linear operations use the integer "
+                "message encoding — the two cannot be mixed on one wire"
+            )
+        if operation.kind == "gate":
+            method = getattr(session.gates(), _GATE_METHODS[operation.name])
+            return method(*operands), _BOOLEAN
+        if operation.kind == "lut":
+            accumulator = operands[0]
+            for operand in operands[1:]:
+                accumulator = accumulator + operand
+            return session.apply_lut(accumulator, lut), _MESSAGE
+        if operation.kind == "linear":
+            coefficients = operation.coefficients or (1,) * len(operands)
+            accumulator: LweCiphertext | None = None
+            for coefficient, operand in zip(coefficients, operands):
+                if coefficient == 0:
+                    continue
+                term = operand if coefficient == 1 else operand.scalar_multiply(int(coefficient))
+                accumulator = term if accumulator is None else accumulator + term
+            if accumulator is None:
+                accumulator = LweCiphertext.trivial(0, operands[0].dimension, session.params)
+            tag = tags[operation.inputs[0]] if operation.inputs else _MESSAGE
+            return accumulator, tag
+        raise ValueError(f"unknown operation kind {operation.kind!r}")
+
+
+register_backend(ReferenceBackend.name, ReferenceBackend)

@@ -1,0 +1,78 @@
+"""The common result type every execution backend returns.
+
+Whatever executes a workload — the functional TFHE interpreter, the
+cycle-level Strix simulator or an analytical baseline model — the caller gets
+back one :class:`RunResult` carrying the quantities the paper's evaluation
+compares: latency, PBS count and throughput, per-resource utilization,
+energy, and (for functional execution) the decrypted outputs.  This is what
+makes ``run(workload, backend=...)`` results directly comparable across
+backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of executing one workload on one backend.
+
+    Attributes
+    ----------
+    workload:
+        Name of the executed workload (netlist / graph name).
+    backend:
+        Registry name of the backend that produced the result.
+    parameter_set:
+        Name of the TFHE parameter set the workload ran under.
+    latency_s:
+        End-to-end execution time in seconds.  Estimated for the simulator
+        and the analytical models; wall-clock for functional execution.
+    pbs_count:
+        Programmable bootstraps the workload performed.
+    utilization:
+        Per-resource busy fraction (e.g. ``{"hsc0": 0.93, ...}`` from the
+        Strix simulator).  Empty when the backend does not model resources.
+    energy_j:
+        Estimated energy of the run in joules, ``None`` when the backend has
+        no power model (functional execution).
+    outputs:
+        Decrypted outputs, one ``{wire: value}`` dict per workload instance.
+        Only the reference backend produces them; performance backends leave
+        this ``None``.
+    details:
+        Backend-specific extras (e.g. the full
+        :class:`~repro.sim.scheduler.ScheduleResult` or epoch counts).
+    """
+
+    workload: str
+    backend: str
+    parameter_set: str
+    latency_s: float
+    pbs_count: int
+    utilization: dict[str, float] = field(default_factory=dict)
+    energy_j: float | None = None
+    outputs: list[dict[str, int | bool]] | None = None
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end execution time in milliseconds."""
+        return self.latency_s * 1e3
+
+    @property
+    def throughput_pbs_per_s(self) -> float:
+        """Achieved PBS/s over the whole run."""
+        if self.latency_s <= 0:
+            return 0.0
+        return self.pbs_count / self.latency_s
+
+    def render(self) -> str:
+        """One-line human-readable summary (used by the examples)."""
+        energy = f", {self.energy_j:.3f} J" if self.energy_j is not None else ""
+        return (
+            f"{self.backend:>14}: {self.latency_ms:12.3f} ms, "
+            f"{self.pbs_count:,} PBS ({self.throughput_pbs_per_s:,.0f} PBS/s{energy})"
+        )

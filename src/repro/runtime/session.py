@@ -1,0 +1,219 @@
+"""Batch-first user session: keys plus vectorized encrypt/decrypt/bootstrap.
+
+The paper's central argument is that TFHE throughput comes from *batching* —
+epochs of ``device batch x core batch`` ciphertexts streamed through the
+accelerator (Section IV-C) — yet the original user API was strictly
+per-ciphertext.  :class:`Session` is the batch-first front door: it owns a
+:class:`~repro.tfhe.context.TFHEContext` (client keys and the server-key
+split), exposes every per-ciphertext helper unchanged, and adds the batch
+APIs (``encrypt_batch`` / ``decrypt_batch`` / ``bootstrap_batch`` /
+``gate_batch``) whose chunk size mirrors the paper's two-level batch
+geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.arch.accelerator import StrixAccelerator
+from repro.params import TFHEParameters, TOY_PARAMETERS
+from repro.runtime.workload import WorkloadLike, resolve_params
+from repro.tfhe.bootstrap import BootstrapResult
+from repro.tfhe.context import ServerKeys, TFHEContext
+from repro.tfhe.gates import GateBootstrapper
+from repro.tfhe.lut import LookUpTable
+from repro.tfhe.lwe import LweCiphertext
+
+
+class Session:
+    """Owns key material and provides batch-first homomorphic operations.
+
+    Parameters
+    ----------
+    params:
+        TFHE parameter set (object or name such as ``"TOY"`` / ``"I"``);
+        defaults to the fast test-sized set.
+    seed:
+        Seed for key generation and every encryption drawn from the session.
+    accelerator:
+        Strix model used to size batches (device/core batch geometry) and as
+        the default simulation target; defaults to the paper's configuration.
+    """
+
+    def __init__(
+        self,
+        params: TFHEParameters | str = TOY_PARAMETERS,
+        seed: int | None = None,
+        accelerator: StrixAccelerator | None = None,
+    ):
+        resolved = resolve_params(params)
+        self.context = TFHEContext(resolved, seed=seed)
+        self.accelerator = accelerator or StrixAccelerator()
+        self._gates: GateBootstrapper | None = None
+
+    # -- key material ------------------------------------------------------------
+
+    @property
+    def params(self) -> TFHEParameters:
+        """The session's TFHE parameter set."""
+        return self.context.params
+
+    @property
+    def server_keys(self) -> ServerKeys:
+        """The evaluation keys (generated on first access)."""
+        return self.context.server_keys
+
+    def generate_server_keys(self) -> ServerKeys:
+        """Generate (and cache) the bootstrapping and keyswitching keys."""
+        return self.context.generate_server_keys()
+
+    def gates(self) -> GateBootstrapper:
+        """A (cached) gate bootstrapper wired to this session's keys."""
+        if self._gates is None:
+            self._gates = self.context.gates()
+        return self._gates
+
+    # -- batch geometry (Section IV-C) --------------------------------------------
+
+    @property
+    def device_batch_size(self) -> int:
+        """Ciphertexts batched across cores (the accelerator's TvLP)."""
+        return self.accelerator.config.tvlp
+
+    @property
+    def core_batch_size(self) -> int:
+        """Ciphertexts batched within one core for this parameter set."""
+        return self.accelerator.core.core_batch_size(self.params)
+
+    @property
+    def batch_capacity(self) -> int:
+        """Ciphertexts of one scheduling epoch (device x core batch)."""
+        return self.device_batch_size * self.core_batch_size
+
+    def iter_epochs(self, items: Sequence) -> Iterator[Sequence]:
+        """Split a batch into epoch-sized chunks (the scheduler's unit)."""
+        capacity = self.batch_capacity
+        for start in range(0, len(items), capacity):
+            yield items[start : start + capacity]
+
+    # -- per-ciphertext API (delegates to the context) ------------------------------
+
+    def encrypt(self, message: int) -> LweCiphertext:
+        """Encrypt an integer message ``0 <= message < p``."""
+        return self.context.encrypt(message)
+
+    def decrypt(self, ciphertext: LweCiphertext) -> int:
+        """Decrypt an LWE ciphertext to its integer message."""
+        return self.context.decrypt(ciphertext)
+
+    def encrypt_boolean(self, value: bool) -> LweCiphertext:
+        """Encrypt a boolean with the gate-bootstrapping encoding."""
+        return self.context.encrypt_boolean(value)
+
+    def decrypt_boolean(self, ciphertext: LweCiphertext) -> bool:
+        """Decrypt a gate-bootstrapping boolean ciphertext."""
+        return self.context.decrypt_boolean(ciphertext)
+
+    def programmable_bootstrap(
+        self,
+        ciphertext: LweCiphertext,
+        function: Callable[[int], int],
+        keyswitch: bool = True,
+    ) -> BootstrapResult:
+        """Run a full PBS evaluating ``function`` on the encrypted message."""
+        return self.context.programmable_bootstrap(ciphertext, function, keyswitch)
+
+    def apply_lut(self, ciphertext: LweCiphertext, lut: LookUpTable) -> LweCiphertext:
+        """Apply a :class:`LookUpTable` homomorphically (one PBS)."""
+        return self.context.apply_lut(ciphertext, lut)
+
+    # -- batch API ------------------------------------------------------------------
+
+    def encrypt_batch(self, messages: Iterable[int]) -> list[LweCiphertext]:
+        """Encrypt a batch of integer messages."""
+        return [self.context.encrypt(message) for message in messages]
+
+    def decrypt_batch(self, ciphertexts: Iterable[LweCiphertext]) -> list[int]:
+        """Decrypt a batch of integer ciphertexts."""
+        return [self.context.decrypt(ciphertext) for ciphertext in ciphertexts]
+
+    def encrypt_boolean_batch(self, values: Iterable[bool]) -> list[LweCiphertext]:
+        """Encrypt a batch of booleans."""
+        return [self.context.encrypt_boolean(value) for value in values]
+
+    def decrypt_boolean_batch(self, ciphertexts: Iterable[LweCiphertext]) -> list[bool]:
+        """Decrypt a batch of boolean ciphertexts."""
+        return [self.context.decrypt_boolean(ciphertext) for ciphertext in ciphertexts]
+
+    def bootstrap_batch(
+        self,
+        ciphertexts: Sequence[LweCiphertext],
+        function: Callable[[int], int],
+        keyswitch: bool = True,
+    ) -> list[LweCiphertext]:
+        """Bootstrap a batch of ciphertexts through the same function.
+
+        Ciphertexts are processed in epoch-sized chunks (``batch_capacity``),
+        mirroring how the accelerator would schedule them; functionally every
+        chunk is a sequence of real PBS executions.
+        """
+        refreshed: list[LweCiphertext] = []
+        for epoch in self.iter_epochs(ciphertexts):
+            for ciphertext in epoch:
+                result = self.context.programmable_bootstrap(
+                    ciphertext, function, keyswitch
+                )
+                refreshed.append(result.ciphertext)
+        return refreshed
+
+    def apply_lut_batch(
+        self, ciphertexts: Sequence[LweCiphertext], lut: LookUpTable
+    ) -> list[LweCiphertext]:
+        """Apply one LUT across a batch of ciphertexts (one PBS each)."""
+        applied: list[LweCiphertext] = []
+        for epoch in self.iter_epochs(ciphertexts):
+            applied.extend(self.context.apply_lut(ciphertext, lut) for ciphertext in epoch)
+        return applied
+
+    def gate_batch(
+        self, gate: str, *operand_batches: Sequence[LweCiphertext]
+    ) -> list[LweCiphertext]:
+        """Vectorized gate application: ``gate_batch("and", lhs, rhs)``.
+
+        Every operand batch must have the same length; element ``i`` of the
+        result is the gate applied to the ``i``-th element of every batch
+        (three batches for ``"mux"``, one for ``"not"``).
+        """
+        if gate not in GateBootstrapper.PBS_COST:
+            raise ValueError(
+                f"unknown gate {gate!r}; known gates: {sorted(GateBootstrapper.PBS_COST)}"
+            )
+        if not operand_batches:
+            raise ValueError("gate_batch needs at least one operand batch")
+        lengths = {len(batch) for batch in operand_batches}
+        if len(lengths) != 1:
+            raise ValueError(f"operand batches have mismatched lengths: {sorted(lengths)}")
+        method = getattr(self.gates(), _GATE_METHODS[gate])
+        return [method(*operands) for operands in zip(*operand_batches)]
+
+    # -- execution facade --------------------------------------------------------------
+
+    def run(self, workload: WorkloadLike, backend: str = "strix-sim", **options):
+        """Execute a workload with this session's keys; see :func:`repro.runtime.run`."""
+        from repro.runtime.api import run as run_workload
+
+        return run_workload(workload, backend=backend, session=self, **options)
+
+
+#: Gate name -> :class:`GateBootstrapper` method name.
+_GATE_METHODS = {
+    "not": "not_",
+    "and": "and_",
+    "or": "or_",
+    "nand": "nand",
+    "nor": "nor",
+    "xor": "xor",
+    "xnor": "xnor",
+    "andny": "andny",
+    "mux": "mux",
+}

@@ -1,0 +1,68 @@
+"""Strix simulation backend: cycle-level execution on the accelerator model.
+
+Lowers any workload to a :class:`~repro.sim.graph.ComputationGraph`, runs it
+through the epoch scheduler on a :class:`~repro.arch.accelerator
+.StrixAccelerator`, and reports latency, throughput, per-core utilization
+and energy in the common :class:`~repro.runtime.result.RunResult` shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.arch.accelerator import StrixAccelerator
+from repro.arch.energy import EnergyModel
+from repro.params import TFHEParameters
+from repro.runtime.backend import Backend, register_backend
+from repro.runtime.result import RunResult
+from repro.runtime.session import Session
+from repro.runtime.workload import WorkloadLike, as_graph
+from repro.sim.scheduler import StrixScheduler
+
+
+class StrixSimBackend(Backend):
+    """Simulates workloads on the Strix accelerator model."""
+
+    name = "strix-sim"
+
+    def __init__(self, accelerator: StrixAccelerator | None = None):
+        self.accelerator = accelerator or StrixAccelerator()
+        self.scheduler = StrixScheduler(self.accelerator)
+        self.energy_model = EnergyModel(self.accelerator)
+
+    def run(
+        self,
+        workload: WorkloadLike,
+        *,
+        params: TFHEParameters | str | None = None,
+        session: Session | None = None,
+        inputs: Any = None,
+        instances: int = 1,
+        **options: Any,
+    ) -> RunResult:
+        """Simulate ``workload`` (replicated ``instances`` times for netlists).
+
+        When a ``session`` is given its accelerator configuration wins over
+        this backend's default, so batch geometry stays consistent with the
+        session's batch APIs.
+        """
+        scheduler = self.scheduler
+        energy_model = self.energy_model
+        if session is not None and session.accelerator is not self.accelerator:
+            scheduler = StrixScheduler(session.accelerator)
+            energy_model = EnergyModel(session.accelerator)
+        graph = as_graph(workload, params, instances)
+        schedule = scheduler.run(graph)
+        return RunResult(
+            workload=graph.name,
+            backend=self.name,
+            parameter_set=graph.params.name,
+            latency_s=schedule.total_time_s,
+            pbs_count=schedule.total_pbs,
+            utilization=dict(schedule.core_utilization),
+            energy_j=energy_model.workload_energy_j(schedule.total_time_s),
+            details={"epochs": schedule.total_epochs, "schedule": schedule},
+        )
+
+
+register_backend(StrixSimBackend.name, StrixSimBackend)

@@ -12,6 +12,7 @@ batching opportunity Strix's epoch scheduler exploits.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.params import TFHEParameters
 from repro.sim.graph import ComputationGraph
@@ -35,6 +36,15 @@ class Operation:
         For gates: the gate name (``"and"``, ``"xor"``, ``"mux"``, ...).
     cost:
         For linear operations: multiply-accumulate count.
+    function:
+        For LUT operations: the univariate function the PBS evaluates.  Only
+        needed for *functional* execution (the reference backend); the
+        simulator and the analytical models cost every LUT as one PBS
+        regardless.
+    coefficients:
+        For linear operations: plaintext coefficients of the combination,
+        one per input wire.  Defaults to all ones (a plain homomorphic sum)
+        when functional execution is requested without them.
     """
 
     kind: str
@@ -42,6 +52,8 @@ class Operation:
     inputs: tuple[str, ...]
     name: str = ""
     cost: int = 1
+    function: Callable[[int], int] | None = None
+    coefficients: tuple[int, ...] | None = None
 
 
 class Netlist:
@@ -71,13 +83,44 @@ class Netlist:
             )
         return self._add(Operation("gate", output, tuple(inputs), name=gate))
 
-    def add_lut(self, output: str, *inputs: str) -> str:
-        """Add a programmable LUT application (one PBS)."""
-        return self._add(Operation("lut", output, tuple(inputs), name="lut"))
+    def add_lut(
+        self, output: str, *inputs: str, function: Callable[[int], int] | None = None
+    ) -> str:
+        """Add a programmable LUT application (one PBS).
 
-    def add_linear(self, output: str, inputs: tuple[str, ...], cost: int = 1) -> str:
-        """Add a linear combination (homomorphic adds / plaintext multiplies)."""
-        return self._add(Operation("linear", output, tuple(inputs), name="linear", cost=cost))
+        ``function`` is optional and only consumed by functional execution
+        (the runtime's reference backend); when omitted there, the LUT
+        defaults to the identity (a noise-refreshing bootstrap).  Multiple
+        inputs are summed homomorphically before the PBS.
+        """
+        return self._add(Operation("lut", output, tuple(inputs), name="lut", function=function))
+
+    def add_linear(
+        self,
+        output: str,
+        inputs: tuple[str, ...],
+        cost: int = 1,
+        coefficients: tuple[int, ...] | None = None,
+    ) -> str:
+        """Add a linear combination (homomorphic adds / plaintext multiplies).
+
+        ``coefficients`` (one per input wire) are only needed for functional
+        execution; the performance models use ``cost`` alone.
+        """
+        if coefficients is not None and len(coefficients) != len(inputs):
+            raise ValueError(
+                f"expected {len(inputs)} coefficients, got {len(coefficients)}"
+            )
+        return self._add(
+            Operation(
+                "linear",
+                output,
+                tuple(inputs),
+                name="linear",
+                cost=cost,
+                coefficients=tuple(coefficients) if coefficients is not None else None,
+            )
+        )
 
     def _add(self, operation: Operation) -> str:
         if operation.output in self._producers or operation.output in self._primary_inputs:
@@ -100,6 +143,28 @@ class Netlist:
     def primary_inputs(self) -> set[str]:
         """Declared primary input wires."""
         return set(self._primary_inputs)
+
+    def output_wires(self) -> list[str]:
+        """Wires produced but never consumed (the netlist's outputs)."""
+        consumed = {wire for operation in self._operations for wire in operation.inputs}
+        return [
+            operation.output
+            for operation in self._operations
+            if operation.output not in consumed
+        ]
+
+    def with_params(self, params: TFHEParameters) -> "Netlist":
+        """Rebind the netlist to another parameter set (structure unchanged).
+
+        Operations carry no parameter-dependent state, so the same circuit
+        can be costed (or executed) under any parameter set — e.g. built once
+        on TOY parameters for functional testing and simulated under set I.
+        """
+        clone = Netlist(params, name=self.name)
+        clone._primary_inputs = set(self._primary_inputs)
+        clone._operations = list(self._operations)
+        clone._producers = dict(self._producers)
+        return clone
 
     def pbs_count(self) -> int:
         """Total programmable bootstraps of the netlist."""

@@ -136,6 +136,21 @@ class ComputationGraph:
         """All nodes in insertion order."""
         return list(self._nodes.values())
 
+    def with_params(self, params: TFHEParameters) -> "ComputationGraph":
+        """Rebind the graph to another parameter set (structure unchanged)."""
+        clone = ComputationGraph(params, name=self.name)
+        for node in self._nodes.values():
+            clone.add_node(
+                ComputationNode(
+                    name=node.name,
+                    kind=node.kind,
+                    ciphertexts=node.ciphertexts,
+                    operations_per_ciphertext=node.operations_per_ciphertext,
+                    depends_on=list(node.depends_on),
+                )
+            )
+        return clone
+
     def topological_order(self) -> list[ComputationNode]:
         """Nodes in an order where every dependency precedes its dependents."""
         resolved: list[ComputationNode] = []
