@@ -1,0 +1,117 @@
+"""Serving-layer benchmark: arrival patterns and cluster scaling.
+
+Writes ``BENCH_serve.json`` with two families of records:
+
+* ``serve/<pattern>`` — the serving simulation (queue → adaptive batcher →
+  sharded cluster) under the steady, bursty and heavy-tail arrival patterns:
+  p50/p99 latency, request and PBS throughput, mean batch fill and
+  per-device utilization;
+* ``cluster/...`` — the Fig. 7 Deep-NN workload on the single-device
+  simulator versus the sharded cluster at 2 and 4 devices (latency,
+  throughput, speedup, straggler imbalance).
+
+Run it directly (``--smoke`` shrinks the traces for CI)::
+
+    python benchmarks/bench_serve.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from harness import BenchReport, ensure_repro_importable
+
+ensure_repro_importable()
+
+from repro import run  # noqa: E402  (path bootstrap above)
+from repro.apps.traffic import bursty_trace, heavy_tail_trace, steady_trace  # noqa: E402
+from repro.serve import Server  # noqa: E402
+
+#: The Fig. 7 application workload the cluster scaling study runs.
+FIG7_WORKLOAD = "NN-20"
+
+
+def bench_serving_patterns(
+    report: BenchReport, devices: int, duration_s: float, seed: int
+) -> None:
+    """Simulate the three arrival patterns and record their metrics."""
+    traces = {
+        "steady": steady_trace(rate_rps=1500.0, duration_s=duration_s, seed=seed),
+        "bursty": bursty_trace(
+            burst_rate_rps=6000.0, duration_s=duration_s, seed=seed
+        ),
+        "heavy-tail": heavy_tail_trace(
+            rate_rps=1500.0, duration_s=duration_s, seed=seed
+        ),
+    }
+    for pattern, trace in traces.items():
+        server = Server(devices=devices, policy="least-loaded", params="I")
+        serve_report = server.simulate(trace, label=pattern)
+        metrics = serve_report.metrics
+        base = f"serve/{pattern}"
+        report.add(f"{base}/p50_latency", metrics.latency.p50_s, "s", **serve_report.to_dict())
+        report.add(f"{base}/p99_latency", metrics.latency.p99_s, "s")
+        report.add(f"{base}/requests_per_s", metrics.requests_per_s, "req/s")
+        report.add(f"{base}/pbs_per_s", metrics.pbs_per_s, "PBS/s")
+        report.add(
+            f"{base}/mean_device_utilization",
+            sum(metrics.device_utilization.values())
+            / max(len(metrics.device_utilization), 1),
+            "fraction",
+            per_device=metrics.device_utilization,
+        )
+        print(serve_report.render())
+        print()
+
+
+def bench_cluster_scaling(report: BenchReport) -> None:
+    """Fig. 7 Deep-NN workload: single device versus the sharded cluster."""
+    single = run(FIG7_WORKLOAD, backend="strix-sim", params="I")
+    report.add(
+        "cluster/strix-sim/latency", single.latency_s, "s", workload=FIG7_WORKLOAD
+    )
+    report.add(
+        "cluster/strix-sim/throughput", single.throughput_pbs_per_s, "PBS/s"
+    )
+    for devices in (2, 4):
+        result = run(FIG7_WORKLOAD, backend="strix-cluster", devices=devices)
+        speedup = single.latency_s / result.latency_s
+        straggler = result.details["straggler"]
+        base = f"cluster/{devices}dev"
+        report.add(f"{base}/latency", result.latency_s, "s", workload=FIG7_WORKLOAD)
+        report.add(f"{base}/throughput", result.throughput_pbs_per_s, "PBS/s")
+        report.add(
+            f"{base}/speedup_vs_single",
+            speedup,
+            "x",
+            imbalance=straggler["imbalance"],
+        )
+        print(
+            f"{FIG7_WORKLOAD} on {devices} device(s): "
+            f"{result.latency_ms:.3f} ms ({speedup:.2f}x vs strix-sim)"
+        )
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="small traces for the CI smoke job"
+    )
+    parser.add_argument("--devices", type=int, default=4, help="cluster size")
+    parser.add_argument("--seed", type=int, default=7, help="trace seed")
+    parser.add_argument(
+        "--output", default=None, help="output path (default: BENCH_serve.json)"
+    )
+    args = parser.parse_args()
+
+    report = BenchReport("serve")
+    duration_s = 0.1 if args.smoke else 0.5
+    bench_serving_patterns(report, args.devices, duration_s, args.seed)
+    bench_cluster_scaling(report)
+    path = report.write(args.output)
+    print(f"[saved {len(report.records)} records to {path}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,21 @@
 """Library micro-benchmarks: the cycle-level simulator.
 
 Measures the cost of scheduling representative workload graphs on the Strix
-model, so the simulator itself stays fast enough for parameter sweeps.
+model, so the simulator itself stays fast enough for parameter sweeps.  The
+same three scenarios also run as a plain script that records the timings in
+``BENCH_sim.json`` for the cross-PR perf trajectory::
+
+    python benchmarks/bench_simulator.py
 """
 
 from __future__ import annotations
 
 import pytest
+
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    from harness import ensure_repro_importable
+
+    ensure_repro_importable()
 
 from repro.apps.deep_nn import ZAMA_DEEP_NN_MODELS, build_deep_nn_graph
 from repro.apps.workloads import pbs_batch_graph
@@ -42,3 +51,36 @@ def test_bench_pbs_performance_sweep(benchmark):
 
     results = benchmark(sweep)
     assert len(results) == 4
+
+
+def main() -> None:
+    """Record the same three scenarios in ``BENCH_sim.json``."""
+    from harness import BenchReport
+
+    from repro.params import PAPER_PARAMETER_SETS
+
+    runner = StrixScheduler(StrixAccelerator())
+    accelerator = StrixAccelerator()
+    report = BenchReport("sim")
+    report.time(
+        "sim/schedule_pbs_batch_4096",
+        lambda: runner.run(pbs_batch_graph(PARAM_SET_I, 4096)),
+    )
+    report.time(
+        "sim/schedule_deep_nn_100",
+        lambda: runner.run(
+            build_deep_nn_graph(ZAMA_DEEP_NN_MODELS["NN-100"], DEEP_NN_N1024)
+        ),
+    )
+    report.time(
+        "sim/pbs_performance_sweep",
+        lambda: [
+            accelerator.pbs_performance(p) for p in PAPER_PARAMETER_SETS.values()
+        ],
+    )
+    path = report.write()
+    print(f"[saved {len(report.records)} records to {path}]")
+
+
+if __name__ == "__main__":
+    main()

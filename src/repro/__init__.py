@@ -17,7 +17,11 @@ Encryption with Programmable Bootstrapping" (MICRO 2023):
   graphs, blind-rotation fragments, epoch scheduling, occupancy traces).
 * :mod:`repro.baselines` — CPU / GPU analytical models and published
   FPGA/ASIC reference points.
-* :mod:`repro.apps` — Zama Deep-NN, boolean circuits and workload generators.
+* :mod:`repro.apps` — Zama Deep-NN, boolean circuits, workload generators
+  and serving-traffic traces.
+* :mod:`repro.serve` — the multi-tenant serving layer: request queue,
+  adaptive batcher, sharded multi-device :class:`~repro.serve.StrixCluster`
+  and the :class:`~repro.serve.Server` facade (sync + asyncio).
 * :mod:`repro.analysis` — the experiments reproducing every table and figure
   of the paper's evaluation.
 """
@@ -45,7 +49,21 @@ from repro.runtime import (
 from repro.sim.compiler import Netlist
 from repro.tfhe.context import ServerKeys, TFHEContext
 
-__version__ = "1.1.0"
+#: Serving-layer names re-exported lazily: the runtime facade should not pay
+#: the serving layer's import cost (the registry already defers the
+#: ``"strix-cluster"`` backend the same way).
+_SERVE_EXPORTS = frozenset({"Server", "StrixCluster"})
+
+
+def __getattr__(name: str):
+    if name in _SERVE_EXPORTS:
+        from repro import serve
+
+        return getattr(serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__version__ = "1.2.0"
 
 __all__ = [
     "TFHEParameters",
@@ -60,8 +78,10 @@ __all__ = [
     "Backend",
     "Netlist",
     "RunResult",
+    "Server",
     "ServerKeys",
     "Session",
+    "StrixCluster",
     "TFHEContext",
     "compare",
     "get_backend",

@@ -10,11 +10,30 @@ The workloads the paper motivates and evaluates:
   comparators, multiplexer trees) built from the homomorphic gate set.
 * :mod:`repro.apps.workloads` — generic workload generators (PBS batches,
   LUT pipelines) used by the microbenchmarks and tests.
+* :mod:`repro.apps.traffic` — serving-traffic request traces (steady /
+  bursty / heavy-tail arrival patterns) for :mod:`repro.serve`.
 """
 
 from repro.apps.deep_nn import DeepNNModel, ZAMA_DEEP_NN_MODELS, build_deep_nn_graph
 from repro.apps.boolean_circuits import RippleCarryAdder, Comparator, boolean_circuit_graph
 from repro.apps.workloads import pbs_batch_graph, lut_pipeline_graph, gate_workload_graph
+
+#: Names re-exported lazily from :mod:`repro.apps.traffic`.  The traffic
+#: generators build :class:`repro.serve.request.Request` objects, and the
+#: serve layer builds on the runtime, which imports this package while it is
+#: itself still initializing — so the import has to wait until first use.
+_TRAFFIC_EXPORTS = frozenset(
+    {"TRAFFIC_PATTERNS", "steady_trace", "bursty_trace", "heavy_tail_trace"}
+)
+
+
+def __getattr__(name: str):
+    if name in _TRAFFIC_EXPORTS:
+        from repro.apps import traffic
+
+        return getattr(traffic, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "DeepNNModel",
@@ -26,4 +45,8 @@ __all__ = [
     "pbs_batch_graph",
     "lut_pipeline_graph",
     "gate_workload_graph",
+    "TRAFFIC_PATTERNS",
+    "steady_trace",
+    "bursty_trace",
+    "heavy_tail_trace",
 ]

@@ -10,12 +10,20 @@ combines these into latency / throughput / bandwidth estimates for any TFHE
 parameter set, and drives the discrete-event simulation in :mod:`repro.sim`.
 """
 
-from repro.arch.config import StrixConfig, STRIX_DEFAULT, STRIX_UNFOLDED
+from repro.arch.config import (
+    CLUSTER_DEFAULT,
+    STRIX_DEFAULT,
+    STRIX_UNFOLDED,
+    StrixClusterConfig,
+    StrixConfig,
+)
 from repro.arch.accelerator import StrixAccelerator, PbsPerformance
 from repro.arch.area_power import AreaPowerModel
 
 __all__ = [
     "StrixConfig",
+    "StrixClusterConfig",
+    "CLUSTER_DEFAULT",
     "STRIX_DEFAULT",
     "STRIX_UNFOLDED",
     "StrixAccelerator",

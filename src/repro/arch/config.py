@@ -151,3 +151,55 @@ STRIX_DEFAULT = StrixConfig()
 
 #: Ablation variant without the FFT folding optimization (Table VI).
 STRIX_UNFOLDED = StrixConfig(fft_folding=False)
+
+
+@dataclass(frozen=True)
+class StrixClusterConfig:
+    """Geometry of a multi-device Strix deployment.
+
+    The paper evaluates a single chip; a serving deployment shards work
+    across several identical chips behind one host.  The cluster adds two
+    cost knobs on top of the per-device model:
+
+    Attributes
+    ----------
+    devices:
+        Number of Strix chips in the cluster.
+    device:
+        Architectural configuration shared by every chip.
+    interconnect_gbps:
+        Host-to-device link bandwidth in **gigabytes** per second, matching
+        the ``hbm_bandwidth_gbps`` convention of :class:`StrixConfig` (the
+        64.0 default is a PCIe 5.0 x16-class link).  Used to ship ciphertext
+        shards on the serving path.
+    dispatch_overhead_s:
+        Fixed host-side cost per sharded dispatch (scatter + gather).
+        Defaults to zero so a one-device cluster reproduces the
+        single-device simulator results bit-for-bit.
+    """
+
+    devices: int = 4
+    device: StrixConfig = STRIX_DEFAULT
+    interconnect_gbps: float = 64.0
+    dispatch_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ValueError("a cluster needs at least one device")
+        if self.interconnect_gbps <= 0:
+            raise ValueError("interconnect bandwidth must be positive")
+        if self.dispatch_overhead_s < 0:
+            raise ValueError("dispatch overhead cannot be negative")
+
+    @property
+    def total_hscs(self) -> int:
+        """Homomorphic streaming cores across the whole cluster."""
+        return self.devices * self.device.tvlp
+
+    def with_devices(self, devices: int) -> "StrixClusterConfig":
+        """Return a copy with a different device count."""
+        return replace(self, devices=devices)
+
+
+#: Default four-device serving cluster built from the paper's design point.
+CLUSTER_DEFAULT = StrixClusterConfig()

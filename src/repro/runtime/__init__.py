@@ -32,6 +32,7 @@ from repro.runtime.analytical import AnalyticalBackend
 from repro.runtime.api import compare, run
 from repro.runtime.backend import (
     Backend,
+    UnknownBackendError,
     get_backend,
     list_backends,
     register_backend,
@@ -43,6 +44,22 @@ from repro.runtime.session import Session
 from repro.runtime.strix import StrixSimBackend
 from repro.runtime.workload import WorkloadLike, as_graph, as_netlist, resolve_params
 
+
+def _strix_cluster_factory(**options):
+    """Lazy ``"strix-cluster"`` factory: defer :mod:`repro.serve` imports.
+
+    Registering the real class here would drag the whole serving layer into
+    every runtime import (and create a cycle — serve builds on runtime), so
+    the registry holds this thunk instead; importing :mod:`repro.serve`
+    replaces it with the class itself, which is equivalent.
+    """
+    from repro.serve.backend import StrixClusterBackend
+
+    return StrixClusterBackend(**options)
+
+
+register_backend("strix-cluster", _strix_cluster_factory)
+
 __all__ = [
     "AnalyticalBackend",
     "Backend",
@@ -50,6 +67,7 @@ __all__ = [
     "RunResult",
     "Session",
     "StrixSimBackend",
+    "UnknownBackendError",
     "WorkloadLike",
     "as_graph",
     "as_netlist",

@@ -12,6 +12,7 @@ serving) builds on.
 from __future__ import annotations
 
 import abc
+import difflib
 from typing import TYPE_CHECKING, Any, Callable, ClassVar
 
 from repro.params import TFHEParameters
@@ -47,6 +48,31 @@ class Backend(abc.ABC):
         """
 
 
+class UnknownBackendError(KeyError):
+    """Raised when a backend name is not in the registry.
+
+    Subclasses ``KeyError`` for compatibility with callers that catch the
+    registry's historical exception, but renders as a plain sentence (bare
+    ``KeyError`` wraps its message in quotes) listing every registered
+    backend and, when one is close, a did-you-mean suggestion.
+    """
+
+    def __init__(self, name: str, registered: list[str]):
+        self.name = name
+        self.registered = registered
+        message = f"unknown backend {name!r}; registered backends: {registered}"
+        matches = difflib.get_close_matches(name, registered, n=1)
+        if matches:
+            message += f" — did you mean {matches[0]!r}?"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError.__str__ shows repr(args[0]); undo that.
+        return self.args[0]
+
+    def __reduce__(self):  # BaseException pickles as cls(*args); args is the message.
+        return (type(self), (self.name, self.registered))
+
+
 _REGISTRY: dict[str, Callable[..., Backend]] = {}
 
 
@@ -76,12 +102,11 @@ def list_backends() -> list[str]:
 def get_backend(name: str, **factory_options: Any) -> Backend:
     """Instantiate the backend registered under ``name``.
 
-    Raises ``KeyError`` listing the known names when ``name`` is unknown.
+    Raises :class:`UnknownBackendError` (a ``KeyError``) listing the known
+    names — plus a did-you-mean suggestion — when ``name`` is unknown.
     """
     try:
         factory = _REGISTRY[name]
     except KeyError:
-        raise KeyError(
-            f"unknown backend {name!r}; registered backends: {list_backends()}"
-        ) from None
+        raise UnknownBackendError(name, list_backends()) from None
     return factory(**factory_options)

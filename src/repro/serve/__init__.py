@@ -1,0 +1,90 @@
+"""Multi-tenant FHE serving layer over a sharded Strix cluster.
+
+The paper's throughput comes from streaming device×core epochs through the
+accelerator; production traffic arrives as many small independent requests
+from many tenants.  This package is the layer in between::
+
+    tenants --> RequestQueue --> AdaptiveBatcher --> StrixCluster
+                 (FIFO,           (flush on full      (N devices, sharding
+                  per-tenant       or deadline)        policy, aggregation)
+                  accounting)
+
+* :class:`Server` — the facade: per-tenant key/session management, a
+  synchronous trace-replay path (:meth:`Server.simulate`) and an
+  ``asyncio`` submission path (:meth:`Server.submit_async`);
+* :class:`StrixCluster` — N simulated Strix devices with round-robin /
+  least-loaded / affinity sharding, aggregating per-device results into one
+  cluster-level :class:`~repro.runtime.result.RunResult`;
+* :class:`AdaptiveBatcher` / :class:`RequestQueue` — epoch-sized coalescing
+  with bounded tail latency;
+* :mod:`repro.serve.metrics` — p50/p99 latency, throughput, queue depth and
+  device utilization summaries;
+* the ``"strix-cluster"`` runtime backend, so ``run(workload,
+  backend="strix-cluster", devices=4)`` works from the PR 1 facade.
+
+Quickstart::
+
+    from repro.serve import Server
+    from repro.apps.traffic import steady_trace
+
+    server = Server(devices=4, policy="least-loaded")
+    report = server.simulate(
+        steady_trace(rate_rps=2000, duration_s=0.5, seed=7), label="steady"
+    )
+    print(report.render())                 # p50/p99, PBS/s, device utilization
+"""
+
+from repro.serve.backend import StrixClusterBackend
+from repro.serve.batcher import AdaptiveBatcher, Batch
+from repro.serve.cluster import (
+    CLUSTER_BACKEND_NAME,
+    DeviceShardResult,
+    StrixCluster,
+    StrixDevice,
+)
+from repro.serve.metrics import (
+    LatencySummary,
+    MetricsCollector,
+    ServeMetrics,
+    percentile,
+)
+from repro.serve.queue import RequestQueue
+from repro.serve.request import Request, RequestKind, RequestOutcome, pbs_per_item
+from repro.serve.server import Server, ServeConfig, ServeReport, TenantState
+from repro.serve.sharding import (
+    AffinityPolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    ShardingPolicy,
+    get_policy,
+    list_policies,
+)
+
+__all__ = [
+    "AdaptiveBatcher",
+    "AffinityPolicy",
+    "Batch",
+    "CLUSTER_BACKEND_NAME",
+    "DeviceShardResult",
+    "LatencySummary",
+    "LeastLoadedPolicy",
+    "MetricsCollector",
+    "Request",
+    "RequestKind",
+    "RequestOutcome",
+    "RequestQueue",
+    "RoundRobinPolicy",
+    "ServeConfig",
+    "ServeMetrics",
+    "ServeReport",
+    "Server",
+    "ShardingPolicy",
+    "StrixCluster",
+    "StrixClusterBackend",
+    "StrixDevice",
+    "TenantState",
+    "get_policy",
+    "list_policies",
+    "pbs_per_item",
+    "percentile",
+]

@@ -1,0 +1,134 @@
+"""Adaptive batcher: turns a trickle of requests into epoch-sized batches.
+
+The accelerator wants device×core epochs; clients send requests that are
+orders of magnitude smaller.  The batcher coalesces queued requests into
+:class:`Batch` objects under two flush triggers:
+
+* **full** — queued items reach the configured capacity (one device epoch by
+  default), so the batch ships at maximum occupancy;
+* **deadline** — the oldest queued request has waited ``max_delay_s``, so
+  tail latency stays bounded even under light load.
+
+A single request larger than the capacity is shipped alone as an oversized
+batch — the cluster already splits any batch into multiple epochs, so
+splitting one logical request across batches would only complicate
+completion tracking without saving any cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.queue import RequestQueue
+from repro.serve.request import Request
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A flushed group of requests headed for one device.
+
+    ``flush_reason`` records the *trigger* (``"full"`` = capacity pressure,
+    ``"deadline"``, ``"drain"``), not the achieved occupancy: a capacity
+    flush can ship below capacity when the next whole request would not fit
+    (requests are never split), so read fill levels from
+    :meth:`fill_fraction`, not from the reason.
+    """
+
+    batch_id: int
+    requests: tuple[Request, ...]
+    created_s: float
+    flush_reason: str
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a batch must contain at least one request")
+
+    @property
+    def total_items(self) -> int:
+        """Batchable items across the batch's requests."""
+        return sum(request.items for request in self.requests)
+
+    @property
+    def total_pbs(self) -> int:
+        """Bootstraps the batch costs on the accelerator."""
+        return sum(request.total_pbs for request in self.requests)
+
+    @property
+    def tenants(self) -> set[str]:
+        """Distinct tenants sharing the batch."""
+        return {request.tenant for request in self.requests}
+
+    def fill_fraction(self, capacity: int) -> float:
+        """Occupancy of the batch relative to a capacity (may exceed 1)."""
+        if capacity <= 0:
+            return 0.0
+        return self.total_items / capacity
+
+
+class AdaptiveBatcher:
+    """Flush-on-full / flush-on-deadline batching over a :class:`RequestQueue`."""
+
+    def __init__(self, capacity_items: int, max_delay_s: float):
+        if capacity_items < 1:
+            raise ValueError("batch capacity must be at least one item")
+        if max_delay_s < 0:
+            raise ValueError("max batch delay cannot be negative")
+        self.capacity_items = capacity_items
+        self.max_delay_s = max_delay_s
+        self.batches_flushed = 0
+        self.flush_reasons: dict[str, int] = {}
+
+    # -- flush decisions ----------------------------------------------------------
+
+    def next_deadline(self, queue: RequestQueue) -> float | None:
+        """Time at which the current queue head must flush, or ``None``."""
+        oldest = queue.oldest()
+        if oldest is None:
+            return None
+        return oldest.arrival_s + self.max_delay_s
+
+    def poll(self, queue: RequestQueue, now: float) -> list[Batch]:
+        """Flush every batch that is due at ``now``.
+
+        Called after each arrival and at deadline expiries; an empty queue
+        (or one that is neither full nor past its deadline) flushes nothing.
+        """
+        batches: list[Batch] = []
+        while queue.queued_items >= self.capacity_items:
+            batches.append(self._take(queue, now, "full"))
+        deadline = self.next_deadline(queue)
+        if deadline is not None and now >= deadline:
+            batches.append(self._take(queue, now, "deadline"))
+        return batches
+
+    def drain(self, queue: RequestQueue, now: float) -> list[Batch]:
+        """Flush everything still queued (end of a simulation / shutdown)."""
+        batches: list[Batch] = []
+        while queue:
+            batches.append(self._take(queue, now, "drain"))
+        return batches
+
+    # -- internals ----------------------------------------------------------------
+
+    def _take(self, queue: RequestQueue, now: float, reason: str) -> Batch:
+        """Pop requests for one batch: fill up to capacity, never split one."""
+        taken: list[Request] = []
+        items = 0
+        while queue:
+            head = queue.oldest()
+            assert head is not None
+            if taken and items + head.items > self.capacity_items:
+                break
+            taken.append(queue.pop())
+            items += head.items
+            if items >= self.capacity_items:
+                break
+        batch = Batch(
+            batch_id=self.batches_flushed,
+            requests=tuple(taken),
+            created_s=now,
+            flush_reason=reason,
+        )
+        self.batches_flushed += 1
+        self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+        return batch

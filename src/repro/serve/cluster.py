@@ -1,0 +1,319 @@
+"""A sharded multi-device Strix cluster.
+
+One Strix chip saturates at ``TvLP × core-batch`` ciphertexts per epoch; the
+serving tier the ROADMAP asks for needs more.  :class:`StrixCluster` models
+``N`` identical chips behind one host with two execution paths:
+
+* :meth:`run` — data-parallel sharding of one large workload: every node of
+  the computation graph is split across the devices by the sharding policy,
+  each device schedules its shard on its own cycle-level simulator, and the
+  per-device :class:`~repro.sim.scheduler.ScheduleResult`s aggregate into a
+  cluster-level :class:`~repro.runtime.result.RunResult` (latency = slowest
+  device + dispatch overhead, with a straggler breakdown in the details).
+* :meth:`dispatch` — the serving path: a flushed :class:`Batch` is shipped
+  whole to one device (chosen by the policy) and occupies it for the batch's
+  epoch-stream time; per-device busy horizons are the load signal the
+  least-loaded policy reads.
+
+With one device and the default (zero) dispatch overhead the sharded path
+degenerates to the single-device simulator bit-for-bit, which is what ties
+cluster results back to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.accelerator import StrixAccelerator
+from repro.arch.config import StrixClusterConfig, StrixConfig
+from repro.arch.energy import EnergyModel
+from repro.params import TFHEParameters
+from repro.runtime.result import RunResult
+from repro.runtime.workload import WorkloadLike, as_graph, as_netlist, resolve_params
+from repro.serve.batcher import Batch
+from repro.serve.sharding import ShardingPolicy, get_policy
+from repro.sim.compiler import Netlist, compile_netlist
+from repro.sim.graph import ComputationGraph, ComputationNode
+from repro.sim.scheduler import StrixScheduler
+
+#: Name under which the cluster registers in the runtime backend registry.
+CLUSTER_BACKEND_NAME = "strix-cluster"
+
+#: Bytes of one serialized LWE ciphertext (32-bit torus coefficients).
+_BYTES_PER_COEFFICIENT = 4
+
+
+@dataclass
+class StrixDevice:
+    """One chip of the cluster plus its serving-time state."""
+
+    index: int
+    accelerator: StrixAccelerator
+    scheduler: StrixScheduler
+    energy_model: EnergyModel
+    #: Simulated time at which the device finishes its last accepted batch.
+    busy_until: float = 0.0
+    #: Accumulated busy seconds (for utilization over a horizon).
+    busy_s: float = 0.0
+    #: Serving batches and bootstraps this device executed.
+    batches: int = 0
+    pbs: int = 0
+
+    def reset_serving_state(self) -> None:
+        """Clear the busy horizon and counters between simulations."""
+        self.busy_until = 0.0
+        self.busy_s = 0.0
+        self.batches = 0
+        self.pbs = 0
+
+
+@dataclass(frozen=True)
+class DeviceShardResult:
+    """One device's contribution to a sharded workload run."""
+
+    device: int
+    latency_s: float
+    pbs: int
+    epochs: int
+    utilization: dict[str, float]
+    energy_j: float
+
+
+class StrixCluster:
+    """``N`` simulated Strix devices behind one sharding scheduler."""
+
+    def __init__(
+        self,
+        devices: int | None = None,
+        policy: str | ShardingPolicy = "round-robin",
+        config: StrixClusterConfig | None = None,
+        device_config: StrixConfig | None = None,
+    ):
+        if config is None:
+            config = StrixClusterConfig(
+                devices=devices if devices is not None else 4,
+                device=device_config if device_config is not None else StrixConfig(),
+            )
+        else:
+            if device_config is not None:
+                raise ValueError(
+                    "pass either config (which carries the per-device "
+                    "configuration) or device_config, not both"
+                )
+            if devices is not None and devices != config.devices:
+                config = config.with_devices(devices)
+        self.config = config
+        self.policy = get_policy(policy)
+        self.devices = [
+            StrixDevice(
+                index=index,
+                accelerator=(accelerator := StrixAccelerator(config.device)),
+                scheduler=StrixScheduler(accelerator),
+                energy_model=EnergyModel(accelerator),
+            )
+            for index in range(config.devices)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    # -- capacity ---------------------------------------------------------------
+
+    def device_epoch_capacity(self, params: TFHEParameters) -> int:
+        """Ciphertexts one device bootstraps per epoch (device × core batch)."""
+        device = self.devices[0]
+        return device.accelerator.config.tvlp * device.accelerator.core.core_batch_size(
+            params
+        )
+
+    def epoch_capacity(self, params: TFHEParameters) -> int:
+        """Ciphertexts the whole cluster bootstraps per epoch."""
+        return len(self.devices) * self.device_epoch_capacity(params)
+
+    # -- sharded workload execution ----------------------------------------------
+
+    def run(
+        self,
+        workload: WorkloadLike,
+        params: TFHEParameters | str | None = None,
+        instances: int = 1,
+    ) -> RunResult:
+        """Execute one workload sharded across all devices.
+
+        Netlists replicated over ``instances`` shard at instance granularity
+        (each device compiles and schedules its share of independent
+        instances); everything else lowers to a computation graph whose
+        per-node ciphertexts are partitioned by the sharding policy.
+        """
+        if isinstance(workload, Netlist) and instances > 1:
+            resolved = as_netlist(workload, params)
+            shards = self._shard_netlist(resolved, instances)
+            # compile_netlist names the full graph f"{name}-x{instances}";
+            # match it without compiling the whole replicated netlist again.
+            name = f"{resolved.name}-x{instances}"
+            workload_params = resolved.params
+        else:
+            full_graph = as_graph(workload, params, instances)
+            shards = self._shard_graph(full_graph)
+            name = full_graph.name
+            workload_params = full_graph.params
+        return self._run_shards(name, workload_params, shards)
+
+    def _shard_netlist(
+        self, netlist: Netlist, instances: int
+    ) -> list[ComputationGraph | None]:
+        shares = self.policy.partition(instances, len(self.devices))
+        return [
+            compile_netlist(netlist, share) if share > 0 else None
+            for share in shares
+        ]
+
+    def _shard_graph(self, graph: ComputationGraph) -> list[ComputationGraph | None]:
+        """Split every node's ciphertexts across the devices.
+
+        Zero-ciphertext nodes are kept in place (the epoch scheduler costs
+        them at zero), so the dependency structure never needs rewiring and
+        every device sees the same critical-path shape.
+        """
+        device_count = len(self.devices)
+        shards = [
+            ComputationGraph(graph.params, name=f"{graph.name}@dev{index}")
+            for index in range(device_count)
+        ]
+        totals = [0] * device_count
+        for node_index, node in enumerate(graph.nodes):
+            shares = self.policy.partition(
+                node.ciphertexts, device_count, offset=node_index
+            )
+            for device_index, share in enumerate(shares):
+                totals[device_index] += share
+                shards[device_index].add_node(
+                    ComputationNode(
+                        name=node.name,
+                        kind=node.kind,
+                        ciphertexts=share,
+                        operations_per_ciphertext=node.operations_per_ciphertext,
+                        depends_on=list(node.depends_on),
+                    )
+                )
+        return [
+            shard if total > 0 else None for shard, total in zip(shards, totals)
+        ]
+
+    def _run_shards(
+        self,
+        name: str,
+        params: TFHEParameters,
+        shards: list[ComputationGraph | None],
+    ) -> RunResult:
+        per_device: list[DeviceShardResult] = []
+        utilization: dict[str, float] = {}
+        for device, shard in zip(self.devices, shards):
+            if shard is None:
+                continue
+            schedule = device.scheduler.run(shard)
+            energy = device.energy_model.workload_energy_j(schedule.total_time_s)
+            per_device.append(
+                DeviceShardResult(
+                    device=device.index,
+                    latency_s=schedule.total_time_s,
+                    pbs=schedule.total_pbs,
+                    epochs=schedule.total_epochs,
+                    utilization=dict(schedule.core_utilization),
+                    energy_j=energy,
+                )
+            )
+            for core, value in schedule.core_utilization.items():
+                utilization[f"dev{device.index}/{core}"] = value
+
+        latencies = [entry.latency_s for entry in per_device]
+        slowest = max(latencies, default=0.0)
+        mean_latency = sum(latencies) / len(latencies) if latencies else 0.0
+        total_latency = slowest + self.config.dispatch_overhead_s
+        total_energy = sum(entry.energy_j for entry in per_device)
+        return RunResult(
+            workload=name,
+            backend=CLUSTER_BACKEND_NAME,
+            parameter_set=params.name,
+            latency_s=total_latency,
+            pbs_count=sum(entry.pbs for entry in per_device),
+            utilization=utilization,
+            energy_j=total_energy,
+            details={
+                "devices": len(self.devices),
+                "active_devices": len(per_device),
+                "policy": self.policy.name,
+                "epochs": sum(entry.epochs for entry in per_device),
+                "per_device": per_device,
+                "straggler": {
+                    "slowest_s": slowest,
+                    "mean_s": mean_latency,
+                    "straggler_s": slowest - mean_latency,
+                    "imbalance": slowest / mean_latency if mean_latency > 0 else 0.0,
+                },
+            },
+        )
+
+    # -- serving path ------------------------------------------------------------
+
+    def batch_service_s(self, batch: Batch, params: TFHEParameters) -> float:
+        """Time one device needs to execute a serving batch.
+
+        Bootstraps stream through the device's epoch pipeline; PBS-free items
+        (encryption requests) only cost host-side linear work on the vector
+        pipeline; shipping the batch's ciphertexts to the device is charged
+        against the cluster interconnect.
+        """
+        device = self.devices[0]
+        config = device.accelerator.config
+        pbs_s = device.accelerator.pbs_batch_time_ms(params, batch.total_pbs) / 1e3
+        linear_items = sum(
+            request.items for request in batch.requests if request.pbs_per_item == 0
+        )
+        linear_s = linear_items * params.n / StrixScheduler.linear_macs_per_second(config)
+        transfer_bytes = batch.total_items * (params.n + 1) * _BYTES_PER_COEFFICIENT
+        transfer_s = transfer_bytes / (self.config.interconnect_gbps * 1e9)
+        return pbs_s + linear_s + transfer_s + self.config.dispatch_overhead_s
+
+    def dispatch(
+        self, batch: Batch, now: float, params: TFHEParameters
+    ) -> tuple[int, float, float]:
+        """Ship a batch to one device; returns ``(device, start_s, end_s)``."""
+        busy_until = [device.busy_until for device in self.devices]
+        index = self.policy.select(busy_until, batch)
+        device = self.devices[index]
+        start = max(now, device.busy_until)
+        service = self.batch_service_s(batch, params)
+        end = start + service
+        device.busy_until = end
+        device.busy_s += service
+        device.batches += 1
+        device.pbs += batch.total_pbs
+        return index, start, end
+
+    def reset_serving_state(self) -> None:
+        """Clear every device's busy horizon and counters (and policy state),
+        so repeated simulations on one cluster are deterministic."""
+        for device in self.devices:
+            device.reset_serving_state()
+        self.policy.reset()
+
+    def device_utilization(self, horizon_s: float) -> dict[str, float]:
+        """Busy fraction of every device over a serving horizon."""
+        if horizon_s <= 0:
+            return {f"dev{device.index}": 0.0 for device in self.devices}
+        return {
+            f"dev{device.index}": min(device.busy_s / horizon_s, 1.0)
+            for device in self.devices
+        }
+
+
+def resolve_cluster_params(
+    params: TFHEParameters | str | None, default_name: str = "I"
+) -> TFHEParameters:
+    """Resolve the parameter set serving operates under (set I by default)."""
+    resolved = resolve_params(params)
+    if resolved is None:
+        resolved = resolve_params(default_name)
+    assert resolved is not None
+    return resolved

@@ -1,0 +1,167 @@
+"""Serving metrics: latency percentiles, throughput, queue depth, utilization.
+
+The serving layer's contract is statistical — p50/p99 latency under a given
+arrival pattern, sustained PBS throughput, how deep the queue gets, how busy
+every device is.  :class:`MetricsCollector` accumulates raw observations
+during a simulation and :meth:`MetricsCollector.summarize` folds them into
+one :class:`ServeMetrics` snapshot (renderable, JSON-serializable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.serve.batcher import Batch
+from repro.serve.request import RequestOutcome
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of a sample."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be between 0 and 100")
+    return float(np.percentile(values, q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution of request latencies over one serving run."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p99_s: float
+    max_s: float
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "LatencySummary":
+        if not samples:
+            return cls(count=0, mean_s=0.0, p50_s=0.0, p99_s=0.0, max_s=0.0)
+        return cls(
+            count=len(samples),
+            mean_s=sum(samples) / len(samples),
+            p50_s=percentile(samples, 50.0),
+            p99_s=percentile(samples, 99.0),
+            max_s=max(samples),
+        )
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-friendly representation (milliseconds for readability)."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_s * 1e3,
+            "p50_ms": self.p50_s * 1e3,
+            "p99_ms": self.p99_s * 1e3,
+            "max_ms": self.max_s * 1e3,
+        }
+
+
+@dataclass(frozen=True)
+class ServeMetrics:
+    """One serving run folded into the numbers the evaluation tracks."""
+
+    horizon_s: float
+    requests: int
+    batches: int
+    total_pbs: int
+    latency: LatencySummary
+    queue_delay: LatencySummary
+    requests_per_s: float
+    pbs_per_s: float
+    mean_batch_fill: float
+    flush_reasons: dict[str, int]
+    peak_queue_depth: int
+    device_utilization: dict[str, float]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot (what ``BENCH_serve.json`` records)."""
+        return {
+            "horizon_s": self.horizon_s,
+            "requests": self.requests,
+            "batches": self.batches,
+            "total_pbs": self.total_pbs,
+            "latency": self.latency.to_dict(),
+            "queue_delay": self.queue_delay.to_dict(),
+            "requests_per_s": self.requests_per_s,
+            "pbs_per_s": self.pbs_per_s,
+            "mean_batch_fill": self.mean_batch_fill,
+            "flush_reasons": dict(self.flush_reasons),
+            "peak_queue_depth": self.peak_queue_depth,
+            "device_utilization": dict(self.device_utilization),
+        }
+
+    def render(self) -> str:
+        """Multi-line human-readable summary (used by the example)."""
+        utilization = ", ".join(
+            f"{device}={fraction:.0%}"
+            for device, fraction in sorted(self.device_utilization.items())
+        )
+        return "\n".join(
+            [
+                f"requests: {self.requests:,} in {self.batches:,} batches "
+                f"({self.mean_batch_fill:.0%} mean fill, flushes: {self.flush_reasons})",
+                f"latency:  p50 {self.latency.p50_s * 1e3:.3f} ms, "
+                f"p99 {self.latency.p99_s * 1e3:.3f} ms, "
+                f"max {self.latency.max_s * 1e3:.3f} ms",
+                f"rate:     {self.requests_per_s:,.0f} req/s, "
+                f"{self.pbs_per_s:,.0f} PBS/s over {self.horizon_s * 1e3:.1f} ms",
+                f"devices:  {utilization}",
+                f"queue:    peak depth {self.peak_queue_depth}",
+            ]
+        )
+
+
+class MetricsCollector:
+    """Accumulates raw observations during one serving simulation."""
+
+    def __init__(self, batch_capacity: int):
+        self.batch_capacity = batch_capacity
+        self.outcomes: list[RequestOutcome] = []
+        self._batch_fills: list[float] = []
+        self._total_pbs = 0
+        self._batches = 0
+
+    def record_batch(self, batch: Batch, outcomes: list[RequestOutcome]) -> None:
+        """Record one dispatched batch and its per-request outcomes."""
+        self._batches += 1
+        self._total_pbs += batch.total_pbs
+        self._batch_fills.append(batch.fill_fraction(self.batch_capacity))
+        self.outcomes.extend(outcomes)
+
+    def summarize(
+        self,
+        horizon_s: float,
+        flush_reasons: dict[str, int],
+        peak_queue_depth: int,
+        device_utilization: dict[str, float],
+    ) -> ServeMetrics:
+        """Fold the observations into one :class:`ServeMetrics`."""
+        latencies = [outcome.latency_s for outcome in self.outcomes]
+        delays = [outcome.queue_delay_s for outcome in self.outcomes]
+        effective_horizon = horizon_s if horizon_s > 0 else 0.0
+        return ServeMetrics(
+            horizon_s=effective_horizon,
+            requests=len(self.outcomes),
+            batches=self._batches,
+            total_pbs=self._total_pbs,
+            latency=LatencySummary.from_samples(latencies),
+            queue_delay=LatencySummary.from_samples(delays),
+            requests_per_s=(
+                len(self.outcomes) / effective_horizon if effective_horizon else 0.0
+            ),
+            pbs_per_s=(
+                self._total_pbs / effective_horizon if effective_horizon else 0.0
+            ),
+            mean_batch_fill=(
+                sum(self._batch_fills) / len(self._batch_fills)
+                if self._batch_fills
+                else 0.0
+            ),
+            flush_reasons=dict(flush_reasons),
+            peak_queue_depth=peak_queue_depth,
+            device_utilization=dict(device_utilization),
+        )

@@ -1,0 +1,79 @@
+"""FIFO request queue with per-tenant accounting and depth tracking.
+
+The queue sits between the submission paths (sync and async) and the
+adaptive batcher.  It is deliberately simple — arrival order is preserved
+across tenants so no tenant can starve another — but it keeps the counters
+the metrics layer and the batcher's flush decisions need: instantaneous and
+peak depth, queued items/PBS, and per-tenant composition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.serve.request import Request
+
+
+class RequestQueue:
+    """Arrival-ordered queue of pending :class:`Request` objects."""
+
+    def __init__(self) -> None:
+        self._pending: deque[Request] = deque()
+        self.total_enqueued = 0
+        self.peak_depth = 0
+        self._tenant_depths: dict[str, int] = {}
+        self._queued_items = 0
+        self._queued_pbs = 0
+
+    # -- state ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    @property
+    def depth(self) -> int:
+        """Requests currently waiting."""
+        return len(self._pending)
+
+    @property
+    def queued_items(self) -> int:
+        """Batchable items across all waiting requests (O(1), kept on push/pop)."""
+        return self._queued_items
+
+    @property
+    def queued_pbs(self) -> int:
+        """Bootstraps across all waiting requests (O(1), kept on push/pop)."""
+        return self._queued_pbs
+
+    @property
+    def tenant_depths(self) -> dict[str, int]:
+        """Waiting request count per tenant (zero entries omitted)."""
+        return {tenant: n for tenant, n in self._tenant_depths.items() if n > 0}
+
+    def oldest(self) -> Request | None:
+        """The longest-waiting request, or ``None`` when empty."""
+        return self._pending[0] if self._pending else None
+
+    # -- mutation ---------------------------------------------------------------
+
+    def push(self, request: Request) -> None:
+        """Enqueue a request (arrival order is the only order)."""
+        self._pending.append(request)
+        self.total_enqueued += 1
+        self.peak_depth = max(self.peak_depth, len(self._pending))
+        self._tenant_depths[request.tenant] = (
+            self._tenant_depths.get(request.tenant, 0) + 1
+        )
+        self._queued_items += request.items
+        self._queued_pbs += request.total_pbs
+
+    def pop(self) -> Request:
+        """Dequeue the oldest request."""
+        request = self._pending.popleft()
+        self._tenant_depths[request.tenant] -= 1
+        self._queued_items -= request.items
+        self._queued_pbs -= request.total_pbs
+        return request

@@ -1,0 +1,495 @@
+"""The serving facade: multi-tenant submission over queue → batcher → cluster.
+
+:class:`Server` is the front door of :mod:`repro.serve`.  It owns one
+:class:`~repro.serve.cluster.StrixCluster`, one
+:class:`~repro.serve.queue.RequestQueue` feeding one
+:class:`~repro.serve.batcher.AdaptiveBatcher`, and a per-tenant
+:class:`~repro.runtime.session.Session` cache for key material.  Three ways
+in:
+
+* :meth:`submit` + :meth:`simulate` — the offline path: build (or generate)
+  a trace of timestamped requests and replay it in simulated time, getting a
+  :class:`ServeReport` with p50/p99 latency, throughput, queue depth and
+  per-device utilization;
+* ``async with Server(...) as server: await server.submit_async(...)`` —
+  the online path: submissions batch on the wall clock (flush on full or
+  deadline) and each awaiting caller receives its own
+  :class:`~repro.serve.request.RequestOutcome` when its batch completes;
+* :meth:`run` — bypass the queue entirely and execute one large workload
+  sharded across the cluster (equivalent to
+  ``run(workload, backend="strix-cluster")``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable
+
+from repro.arch.config import StrixClusterConfig
+from repro.params import TFHEParameters
+from repro.runtime.result import RunResult
+from repro.runtime.session import Session
+from repro.runtime.workload import WorkloadLike
+from repro.serve.batcher import AdaptiveBatcher, Batch
+from repro.serve.cluster import StrixCluster, resolve_cluster_params
+from repro.serve.metrics import MetricsCollector, ServeMetrics
+from repro.serve.queue import RequestQueue
+from repro.serve.request import Request, RequestKind, RequestOutcome
+from repro.serve.sharding import ShardingPolicy
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of one :class:`Server`.
+
+    Attributes
+    ----------
+    params:
+        TFHE parameter set serving operates under (name or object).
+    devices:
+        Strix chips in the cluster.
+    policy:
+        Sharding policy name (``"round-robin"`` / ``"least-loaded"`` /
+        ``"affinity"``) or instance.
+    max_batch_delay_s:
+        Deadline bound of the adaptive batcher — the longest a request waits
+        before a partial batch flushes (the p99 knob under light load).
+    batch_capacity:
+        Items per batch; defaults to one device's epoch capacity so every
+        full batch is exactly one epoch-stream.
+    seed:
+        Base seed for per-tenant key generation.
+    cluster:
+        Full :class:`~repro.arch.config.StrixClusterConfig` when the cost
+        knobs (interconnect bandwidth, dispatch overhead, per-device
+        architecture) matter; its device count wins over ``devices``.
+    """
+
+    params: TFHEParameters | str = "I"
+    devices: int = 4
+    policy: str | ShardingPolicy = "least-loaded"
+    max_batch_delay_s: float = 2e-3
+    batch_capacity: int | None = None
+    seed: int = 0
+    cluster: StrixClusterConfig | None = None
+
+
+@dataclass
+class TenantState:
+    """Book-keeping for one logical tenant."""
+
+    tenant: str
+    session: Session | None = None
+    requests: int = 0
+    items: int = 0
+    pbs: int = 0
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Outcome of one serving simulation."""
+
+    label: str
+    parameter_set: str
+    devices: int
+    policy: str
+    metrics: ServeMetrics
+    outcomes: list[RequestOutcome] = field(repr=False, default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot (what the benchmark harness records)."""
+        return {
+            "label": self.label,
+            "parameter_set": self.parameter_set,
+            "devices": self.devices,
+            "policy": self.policy,
+            **self.metrics.to_dict(),
+        }
+
+    def render(self) -> str:
+        """Human-readable summary."""
+        header = (
+            f"[{self.label}] params {self.parameter_set}, "
+            f"{self.devices} device(s), policy {self.policy}"
+        )
+        return header + "\n" + self.metrics.render()
+
+
+class Server:
+    """Multi-tenant FHE serving over a sharded Strix cluster."""
+
+    def __init__(self, config: ServeConfig | None = None, **overrides: Any):
+        config = config or ServeConfig()
+        if overrides:
+            config = replace(config, **overrides)
+        self.config = config
+        self.params = resolve_cluster_params(config.params)
+        self.cluster = StrixCluster(
+            devices=None if config.cluster is not None else config.devices,
+            policy=config.policy,
+            config=config.cluster,
+        )
+        self.batch_capacity = (
+            config.batch_capacity
+            if config.batch_capacity is not None
+            else self.cluster.device_epoch_capacity(self.params)
+        )
+        self.queue = RequestQueue()
+        self.batcher = AdaptiveBatcher(self.batch_capacity, config.max_batch_delay_s)
+        self._tenants: dict[str, TenantState] = {}
+        self._request_counter = 0
+        self._clock = 0.0
+        # Async-mode state (created by __aenter__).
+        self._async_futures: dict[int, asyncio.Future] = {}
+        self._async_metrics: MetricsCollector | None = None
+        self._async_epoch = 0.0
+        self._async_error: Exception | None = None
+        self._wake: asyncio.Event | None = None
+        self._flusher: asyncio.Task | None = None
+        #: Metrics of the last completed async context (set by :meth:`aclose`).
+        self.last_async_report: ServeReport | None = None
+
+    # -- tenants -----------------------------------------------------------------
+
+    def tenant(self, name: str) -> TenantState:
+        """State for one tenant (created on first use)."""
+        if name not in self._tenants:
+            self._tenants[name] = TenantState(tenant=name)
+        return self._tenants[name]
+
+    def session_for(self, tenant: str) -> Session:
+        """The tenant's key-owning session (created and cached on first use).
+
+        Seeds derive deterministically from the server seed and the tenant
+        name, so distinct tenants get distinct key material and re-creating a
+        server reproduces it.
+        """
+        state = self.tenant(tenant)
+        if state.session is None:
+            seed = self.config.seed + zlib.crc32(tenant.encode())
+            state.session = Session(self.params, seed=seed)
+        return state.session
+
+    @property
+    def tenants(self) -> dict[str, TenantState]:
+        """All tenants seen so far, by name."""
+        return dict(self._tenants)
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(
+        self,
+        tenant: str,
+        kind: RequestKind | str,
+        items: int = 1,
+        model: str | None = None,
+        at: float | None = None,
+    ) -> Request:
+        """Enqueue one request at time ``at`` (defaults to the serving clock)."""
+        if self._async_metrics is not None:
+            raise RuntimeError(
+                "sync submit() cannot run inside an active async context; "
+                "use submit_async (the paths share queue and clock)"
+            )
+        arrival = self._clock if at is None else at
+        self._clock = max(self._clock, arrival)
+        request = Request.make(
+            self._next_request_id(), tenant, kind, items, arrival_s=arrival, model=model
+        )
+        self.queue.push(request)
+        return request
+
+    def _next_request_id(self) -> int:
+        self._request_counter += 1
+        return self._request_counter
+
+    def _account(self, request: Request) -> None:
+        # Charged at dispatch, not submission, so TenantState counts work
+        # that actually executed (repeated simulations accumulate, discarded
+        # queue contents do not).
+        state = self.tenant(request.tenant)
+        state.requests += 1
+        state.items += request.items
+        state.pbs += request.total_pbs
+
+    # -- offline simulation --------------------------------------------------------
+
+    def simulate(
+        self, trace: Iterable[Request] | None = None, label: str = "trace"
+    ) -> ServeReport:
+        """Replay a request trace through queue → batcher → cluster.
+
+        ``trace`` defaults to whatever :meth:`submit` queued; an explicit
+        trace (e.g. from :mod:`repro.apps.traffic`) replaces the queue
+        contents.  Simulated time advances from arrival to arrival, firing
+        deadline flushes in between; every flushed batch goes to the device
+        the sharding policy picks and occupies it for the batch's service
+        time.
+
+        Not usable while an async context is active: both paths share the
+        queue, batcher and cluster, and request ids would collide.
+        """
+        if self._async_metrics is not None:
+            raise RuntimeError(
+                "simulate() cannot run inside an active async context; "
+                "exit the `async with` block first"
+            )
+        if trace is not None:
+            pending = sorted(trace, key=lambda request: request.arrival_s)
+        else:
+            pending = []
+            while self.queue:
+                pending.append(self.queue.pop())
+            pending.sort(key=lambda request: request.arrival_s)
+        self.queue = RequestQueue()
+
+        self.cluster.reset_serving_state()
+        self.batcher = AdaptiveBatcher(self.batch_capacity, self.config.max_batch_delay_s)
+        metrics = MetricsCollector(self.batch_capacity)
+        last_completion = 0.0
+        last_arrival = pending[-1].arrival_s if pending else 0.0
+
+        for request in pending:
+            last_completion = max(
+                last_completion, self._fire_deadlines(request.arrival_s, metrics)
+            )
+            self.queue.push(request)
+            self._clock = max(self._clock, request.arrival_s)
+            for batch in self.batcher.poll(self.queue, request.arrival_s):
+                last_completion = max(
+                    last_completion, self._dispatch(batch, metrics)
+                )
+        last_completion = max(self._fire_deadlines(None, metrics), last_completion)
+
+        horizon = max(last_completion, last_arrival)
+        summary = metrics.summarize(
+            horizon_s=horizon,
+            flush_reasons=self.batcher.flush_reasons,
+            peak_queue_depth=self.queue.peak_depth,
+            device_utilization=self.cluster.device_utilization(horizon),
+        )
+        return ServeReport(
+            label=label,
+            parameter_set=self.params.name,
+            devices=len(self.cluster),
+            policy=self.cluster.policy.name,
+            metrics=summary,
+            outcomes=list(metrics.outcomes),
+        )
+
+    def _fire_deadlines(self, until: float | None, metrics: MetricsCollector) -> float:
+        """Flush every deadline due before ``until`` (all of them when ``None``)."""
+        last_completion = 0.0
+        while True:
+            deadline = self.batcher.next_deadline(self.queue)
+            if deadline is None or (until is not None and deadline > until):
+                return last_completion
+            for batch in self.batcher.poll(self.queue, deadline):
+                last_completion = max(last_completion, self._dispatch(batch, metrics))
+
+    def _dispatch(self, batch: Batch, metrics: MetricsCollector) -> float:
+        """Send one batch to the cluster and record its outcomes."""
+        device, start, end = self.cluster.dispatch(batch, batch.created_s, self.params)
+        for request in batch.requests:
+            self._account(request)
+        outcomes = [
+            RequestOutcome(
+                request=request,
+                batch_id=batch.batch_id,
+                device=device,
+                dispatched_s=start,
+                completed_s=end,
+            )
+            for request in batch.requests
+        ]
+        metrics.record_batch(batch, outcomes)
+        self._resolve_futures(outcomes)
+        return end
+
+    # -- sharded one-shot execution ---------------------------------------------------
+
+    def run(
+        self,
+        workload: WorkloadLike,
+        params: TFHEParameters | str | None = None,
+        **options: Any,
+    ) -> RunResult:
+        """Execute one workload sharded across the whole cluster.
+
+        ``params`` overrides the server's serving parameter set for this run.
+        """
+        return self.cluster.run(
+            workload, params=params if params is not None else self.params, **options
+        )
+
+    # -- async path --------------------------------------------------------------------
+
+    async def __aenter__(self) -> "Server":
+        if self._async_metrics is not None:
+            raise RuntimeError(
+                "this server already has an active async context; "
+                "one `async with` block at a time"
+            )
+        if self.queue:
+            raise RuntimeError(
+                "the server has queued sync submissions; simulate() or "
+                "discard them before entering an async context"
+            )
+        loop = asyncio.get_running_loop()
+        self._async_epoch = loop.time()
+        self._async_metrics = MetricsCollector(self.batch_capacity)
+        self._async_error = None
+        self._wake = asyncio.Event()
+        # Fresh queue/batcher so the async report's flush and depth stats
+        # are not polluted by earlier simulations on this server.
+        self.queue = RequestQueue()
+        self.batcher = AdaptiveBatcher(self.batch_capacity, self.config.max_batch_delay_s)
+        self.cluster.reset_serving_state()
+        self._flusher = loop.create_task(self._flush_loop())
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+    async def submit_async(
+        self,
+        tenant: str,
+        kind: RequestKind | str,
+        items: int = 1,
+        model: str | None = None,
+    ) -> RequestOutcome:
+        """Submit one request and await its outcome.
+
+        Arrivals are stamped on the wall clock (so real submission gaps
+        drive the batcher's flush decisions) while service times come from
+        the simulated cluster — the awaited outcome reports the modeled
+        completion, it does not sleep for it.
+        """
+        if self._async_metrics is None:
+            raise RuntimeError(
+                "async submission needs an active async context: "
+                "use `async with Server(...) as server`"
+            )
+        if self._async_error is not None:
+            # The flusher died; accepting new work would hang the caller.
+            raise RuntimeError(
+                "the serving flush loop has crashed; no further submissions "
+                "will be processed"
+            ) from self._async_error
+        loop = asyncio.get_running_loop()
+        now = loop.time() - self._async_epoch
+        request = Request.make(
+            self._next_request_id(), tenant, kind, items, arrival_s=now, model=model
+        )
+        future: asyncio.Future = loop.create_future()
+        self._async_futures[request.request_id] = future
+        self.queue.push(request)
+        if self.queue.queued_items >= self.batch_capacity:
+            try:
+                self._flush_async(now)
+            except Exception as error:  # noqa: BLE001 - fanned out to awaiters
+                self._fail_pending_futures(error)
+        elif self._wake is not None:
+            self._wake.set()  # tell the flusher a deadline now exists
+        return await future
+
+    async def aclose(self) -> None:
+        """Stop the background flusher and flush everything still queued."""
+        if self._flusher is not None:
+            self._flusher.cancel()
+            try:
+                await self._flusher
+            except asyncio.CancelledError:
+                pass
+            except Exception:  # noqa: BLE001 - already delivered to awaiters
+                # A flush crash was fanned out to the pending futures when it
+                # happened; re-raising here would skip the state cleanup below
+                # and wedge the server permanently.
+                pass
+            self._flusher = None
+        if self._async_metrics is not None:
+            loop = asyncio.get_running_loop()
+            now = loop.time() - self._async_epoch
+            metrics = self._async_metrics
+            try:
+                for batch in self.batcher.drain(self.queue, now):
+                    self._dispatch(batch, metrics)
+            except Exception as error:  # noqa: BLE001 - fanned out to awaiters
+                self._fail_pending_futures(error)
+                raise
+            finally:
+                self._async_metrics = None
+                self._wake = None
+                horizon = max(
+                    (outcome.completed_s for outcome in metrics.outcomes),
+                    default=now,
+                )
+                self.last_async_report = ServeReport(
+                    label="async",
+                    parameter_set=self.params.name,
+                    devices=len(self.cluster),
+                    policy=self.cluster.policy.name,
+                    metrics=metrics.summarize(
+                        horizon_s=horizon,
+                        flush_reasons=self.batcher.flush_reasons,
+                        peak_queue_depth=self.queue.peak_depth,
+                        device_utilization=self.cluster.device_utilization(horizon),
+                    ),
+                    outcomes=list(metrics.outcomes),
+                )
+
+    async def _flush_loop(self) -> None:
+        """Fire deadline flushes on the wall clock.
+
+        Event-driven, not polling: with an empty queue the loop parks on an
+        ``asyncio.Event`` that :meth:`submit_async` sets on arrival (zero
+        wakeups while idle), otherwise it sleeps straight to the queue
+        head's deadline — which only ever moves *later* (FIFO head, capacity
+        flushes pop from the front), so sleeping to it never misses a flush.
+
+        A crash anywhere in a flush (e.g. a user-supplied policy raising in
+        ``select``) must not die silently: every awaiting submitter would
+        hang forever on a future nobody will resolve.  The exception is
+        propagated to all pending futures instead, so ``await
+        submit_async(...)`` re-raises it at the call sites.
+        """
+        loop = asyncio.get_running_loop()
+        wake = self._wake
+        assert wake is not None
+        while True:
+            deadline = self.batcher.next_deadline(self.queue)
+            if deadline is None:
+                wake.clear()
+                await wake.wait()
+                continue
+            now = loop.time() - self._async_epoch
+            if now < deadline:
+                await asyncio.sleep(deadline - now)
+                now = loop.time() - self._async_epoch
+            try:
+                due = self.batcher.next_deadline(self.queue)
+                if due is not None and now >= due:
+                    self._flush_async(now)
+            except Exception as error:  # noqa: BLE001 - fanned out to awaiters
+                self._fail_pending_futures(error)
+                raise
+
+    def _fail_pending_futures(self, error: Exception) -> None:
+        self._async_error = error
+        for future in self._async_futures.values():
+            if not future.done():
+                future.set_exception(error)
+        self._async_futures.clear()
+
+    def _flush_async(self, now: float) -> None:
+        assert self._async_metrics is not None
+        for batch in self.batcher.poll(self.queue, now):
+            self._dispatch(batch, self._async_metrics)
+
+    def _resolve_futures(self, outcomes: list[RequestOutcome]) -> None:
+        for outcome in outcomes:
+            future = self._async_futures.pop(outcome.request.request_id, None)
+            if future is not None and not future.done():
+                future.set_result(outcome)

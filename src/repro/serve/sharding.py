@@ -1,0 +1,135 @@
+"""Sharding policies: how work spreads over the cluster's devices.
+
+Two decisions are delegated to a policy:
+
+* :meth:`ShardingPolicy.partition` — splitting one large workload's
+  ciphertexts across **all** devices (data-parallel sharding of a
+  computation graph);
+* :meth:`ShardingPolicy.select` — picking **one** device for a flushed
+  serving batch (each batch is a single device's epoch stream).
+
+Three policies ship: ``round-robin`` (balanced splits, rotating dispatch),
+``least-loaded`` (dispatch to the device that frees up first, partition by
+available headroom) and ``affinity`` (tenant-sticky dispatch so a tenant's
+bootstrapping keys stay resident on one device's HBM).
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+
+from repro.serve.batcher import Batch
+
+
+def _balanced_split(items: int, devices: int, offset: int = 0) -> list[int]:
+    """Split ``items`` into ``devices`` near-equal shares.
+
+    The remainder lands on consecutive devices starting at ``offset`` so
+    repeated splits (one per graph node) do not pile every leftover
+    ciphertext onto device 0.
+    """
+    base, remainder = divmod(items, devices)
+    return [
+        base + (1 if (index - offset) % devices < remainder else 0)
+        for index in range(devices)
+    ]
+
+
+class ShardingPolicy(abc.ABC):
+    """Strategy for partitioning and dispatching work across devices."""
+
+    #: Registry name of the policy.
+    name: str = ""
+
+    @abc.abstractmethod
+    def partition(self, items: int, devices: int, *, offset: int = 0) -> list[int]:
+        """Per-device item counts for sharding one workload (sums to ``items``)."""
+
+    @abc.abstractmethod
+    def select(self, busy_until: list[float], batch: Batch) -> int:
+        """Device index that should execute a flushed serving batch."""
+
+    def reset(self) -> None:
+        """Clear dispatch state between simulations (default: stateless)."""
+
+
+class RoundRobinPolicy(ShardingPolicy):
+    """Balanced partitioning; dispatch cycles through the devices in order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def partition(self, items: int, devices: int, *, offset: int = 0) -> list[int]:
+        return _balanced_split(items, devices, offset)
+
+    def select(self, busy_until: list[float], batch: Batch) -> int:
+        device = self._next % len(busy_until)
+        self._next += 1
+        return device
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class LeastLoadedPolicy(ShardingPolicy):
+    """Dispatch to the device that frees up first; partition evenly.
+
+    For partitioning, identical devices have identical throughput, so the
+    headroom-weighted split degenerates to the balanced split; the policy
+    earns its name on the dispatch path, where device busy horizons diverge
+    under uneven batch sizes.
+    """
+
+    name = "least-loaded"
+
+    def partition(self, items: int, devices: int, *, offset: int = 0) -> list[int]:
+        return _balanced_split(items, devices, offset)
+
+    def select(self, busy_until: list[float], batch: Batch) -> int:
+        return min(range(len(busy_until)), key=busy_until.__getitem__)
+
+
+class AffinityPolicy(ShardingPolicy):
+    """Tenant-sticky dispatch: one tenant's batches land on one device.
+
+    Keeps a tenant's bootstrapping/keyswitching keys resident in a single
+    device's HBM instead of replicating them cluster-wide.  Multi-tenant
+    batches follow the first (oldest) request's tenant.  Partitioning a
+    single large workload has no tenant axis, so it falls back to the
+    balanced split.
+    """
+
+    name = "affinity"
+
+    def partition(self, items: int, devices: int, *, offset: int = 0) -> list[int]:
+        return _balanced_split(items, devices, offset)
+
+    def select(self, busy_until: list[float], batch: Batch) -> int:
+        tenant = batch.requests[0].tenant
+        return zlib.crc32(tenant.encode()) % len(busy_until)
+
+
+_POLICIES: dict[str, type[ShardingPolicy]] = {
+    policy.name: policy
+    for policy in (RoundRobinPolicy, LeastLoadedPolicy, AffinityPolicy)
+}
+
+
+def list_policies() -> list[str]:
+    """Names of all sharding policies, sorted."""
+    return sorted(_POLICIES)
+
+
+def get_policy(policy: str | ShardingPolicy) -> ShardingPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, ShardingPolicy):
+        return policy
+    try:
+        return _POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown sharding policy {policy!r}; available policies: {list_policies()}"
+        ) from None

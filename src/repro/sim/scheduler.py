@@ -73,6 +73,16 @@ class StrixScheduler:
         self.accelerator = accelerator
         self.config = accelerator.config
 
+    @classmethod
+    def linear_macs_per_second(cls, config) -> float:
+        """Chip-wide throughput of the host-side vector pipeline.
+
+        Shared by the LINEAR-node scheduling below and the serving layer's
+        cost model for PBS-free (encryption) requests, so the two never
+        diverge.
+        """
+        return cls.LINEAR_MACS_PER_CYCLE_PER_CORE * config.tvlp * config.clock_hz
+
     # -- public API -----------------------------------------------------------
 
     def run(self, graph: ComputationGraph) -> ScheduleResult:
@@ -128,10 +138,7 @@ class StrixScheduler:
         self, engine: SimulationEngine, node: ComputationNode, ready: float
     ) -> tuple[float, int]:
         operations = node.ciphertexts * max(node.operations_per_ciphertext, 1)
-        macs_per_second = (
-            self.LINEAR_MACS_PER_CYCLE_PER_CORE * self.config.tvlp * self.config.clock_hz
-        )
-        duration = operations / macs_per_second
+        duration = operations / self.linear_macs_per_second(self.config)
         entry = engine.schedule_activity("linear", duration, ready, label=node.name)
         return entry.end, 0
 
