@@ -8,7 +8,10 @@ Writes ``BENCH_serve.json`` with two families of records:
   per-device utilization;
 * ``cluster/...`` — the Fig. 7 Deep-NN workload on the single-device
   simulator versus the sharded cluster at 2 and 4 devices (latency,
-  throughput, speedup, straggler imbalance).
+  throughput, speedup, straggler imbalance);
+* ``layout/...`` — the scheduling-core seams: data-parallel vs pipeline vs
+  elastic placement and the analytical vs event-driven cost model under one
+  heavy-tail trace (p99, key shipping, stage transfer).
 
 Run it directly (``--smoke`` shrinks the traces for CI)::
 
@@ -93,6 +96,44 @@ def bench_cluster_scaling(report: BenchReport) -> None:
     print()
 
 
+def bench_layouts_and_cost_models(
+    report: BenchReport, duration_s: float, seed: int
+) -> None:
+    """The scheduling-core seams under one heavy-tail trace."""
+    trace = heavy_tail_trace(rate_rps=1200.0, duration_s=duration_s, seed=seed)
+    variants = {
+        "data-parallel/analytical": {"layout": "data-parallel"},
+        "data-parallel/event": {"layout": "data-parallel", "cost_model": "event"},
+        "pipeline/analytical": {"layout": "pipeline"},
+        "elastic/analytical": {"layout": "elastic"},
+    }
+    for label, options in variants.items():
+        server = Server(devices=4, policy="least-loaded", params="I", **options)
+        serve_report = server.simulate(trace, label=label)
+        metrics = serve_report.metrics
+        base = f"layout/{label}"
+        report.add(f"{base}/p99_latency", metrics.latency.p99_s, "s")
+        report.add(
+            f"{base}/key_shipping",
+            metrics.cost_breakdown.get("key_shipping_s", 0.0),
+            "s",
+        )
+        if "stage_transfer_s" in metrics.cost_breakdown:
+            report.add(
+                f"{base}/stage_transfer",
+                metrics.cost_breakdown["stage_transfer_s"],
+                "s",
+            )
+        if "active_devices" in metrics.cost_breakdown:
+            report.add(
+                f"{base}/peak_active_devices",
+                metrics.cost_breakdown["active_devices"],
+                "devices",
+            )
+        print(serve_report.render())
+        print()
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -109,6 +150,7 @@ def main() -> None:
     duration_s = 0.1 if args.smoke else 0.5
     bench_serving_patterns(report, args.devices, duration_s, args.seed)
     bench_cluster_scaling(report)
+    bench_layouts_and_cost_models(report, duration_s, args.seed)
     path = report.write(args.output)
     print(f"[saved {len(report.records)} records to {path}]")
 

@@ -54,10 +54,19 @@ def test_bench_pbs_performance_sweep(benchmark):
 
 
 def main() -> None:
-    """Record the same three scenarios in ``BENCH_sim.json``."""
+    """Record the same three scenarios (plus deterministic model outputs)
+    in ``BENCH_sim.json``."""
+    import argparse
+
     from harness import BenchReport
 
     from repro.params import PAPER_PARAMETER_SETS
+
+    parser = argparse.ArgumentParser(description="cycle-level simulator benchmark")
+    parser.add_argument(
+        "--output", default=None, help="output path (default: BENCH_sim.json)"
+    )
+    args = parser.parse_args()
 
     runner = StrixScheduler(StrixAccelerator())
     accelerator = StrixAccelerator()
@@ -78,7 +87,26 @@ def main() -> None:
             accelerator.pbs_performance(p) for p in PAPER_PARAMETER_SETS.values()
         ],
     )
-    path = report.write()
+    # Deterministic model outputs: these must not drift between commits
+    # unless the performance model itself changed, which is exactly what the
+    # regression gate (check_regression.py) exists to catch.
+    batch_schedule = runner.run(pbs_batch_graph(PARAM_SET_I, 4096))
+    report.add(
+        "sim/pbs_batch_4096/latency", batch_schedule.total_time_s, "s"
+    )
+    nn_schedule = runner.run(
+        build_deep_nn_graph(ZAMA_DEEP_NN_MODELS["NN-100"], DEEP_NN_N1024)
+    )
+    report.add("sim/deep_nn_100/latency", nn_schedule.total_time_s, "s")
+    report.add("sim/deep_nn_100/epochs", nn_schedule.total_epochs, "epochs")
+    for params in PAPER_PARAMETER_SETS.values():
+        performance = accelerator.pbs_performance(params)
+        report.add(
+            f"sim/pbs_throughput/{params.name}",
+            performance.throughput_pbs_per_s,
+            "PBS/s",
+        )
+    path = report.write(args.output)
     print(f"[saved {len(report.records)} records to {path}]")
 
 

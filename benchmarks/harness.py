@@ -46,9 +46,14 @@ class BenchReport:
     def time(
         self, name: str, fn: Callable[[], Any], repeats: int = 3, **extra: Any
     ) -> float:
-        """Time ``fn`` (best of ``repeats``), record it, return the seconds."""
+        """Time ``fn`` (best of ``repeats``), record it, return the seconds.
+
+        The record carries ``timed: true`` so cross-commit comparisons
+        (``check_regression.py``) can tell wall-clock measurements — noisy
+        across runners — from deterministic model outputs.
+        """
         best = min(self._once(fn) for _ in range(max(1, repeats)))
-        self.add(name, best, "s", **extra)
+        self.add(name, best, "s", timed=True, **extra)
         return best
 
     @staticmethod

@@ -54,6 +54,39 @@ def cluster_scaling() -> None:
     print()
 
 
+def scheduling_core() -> None:
+    """The sched seams: layouts, cost models, QoS and key shipping."""
+    print("== Scheduling core: layouts x cost models x QoS ==\n")
+    trace = TRAFFIC_PATTERNS["heavy-tail"](rate_rps=1200, duration_s=0.2, seed=7)
+    variants = {
+        "data-parallel + analytical": {},
+        "data-parallel + event": {"cost_model": "event"},
+        "pipeline": {"layout": "pipeline"},
+        "elastic": {"layout": "elastic"},
+        "fair QoS": {"qos": "fair"},
+    }
+    for label, options in variants.items():
+        server = Server(devices=4, policy="least-loaded", params="I", **options)
+        report = server.simulate(trace, label=label)
+        metrics = report.metrics
+        shipping = metrics.cost_breakdown.get("key_shipping_s", 0.0)
+        print(
+            f"{label:>26}: p50 {metrics.latency.p50_s * 1e3:7.3f} ms, "
+            f"p99 {metrics.latency.p99_s * 1e3:7.3f} ms, "
+            f"key shipping {shipping * 1e3:7.3f} ms"
+        )
+    print()
+    # One deep model pipelined stage-per-device, with per-stage breakdown.
+    result = run("NN-100", backend="strix-cluster", devices=4, layout="pipeline")
+    print("NN-100 pipelined over 4 devices:")
+    for stage in result.details["stages"]:
+        print(
+            f"  stage on dev{stage['device']}: {stage['latency_s'] * 1e3:8.3f} ms, "
+            f"{stage['pbs']:,} PBS, transfer in {stage['transfer_in_s'] * 1e6:6.2f} us"
+        )
+    print()
+
+
 async def async_submission() -> None:
     """The online path: awaitable per-request outcomes."""
     print("== Async submission: three tenants, one batcher ==\n")
@@ -75,6 +108,7 @@ async def async_submission() -> None:
 def main() -> None:
     traffic_patterns()
     cluster_scaling()
+    scheduling_core()
     asyncio.run(async_submission())
     print("Tenant key material stays per-tenant: Server.session_for(tenant)")
     print("derives a distinct Session (client/server keys) for every tenant.")

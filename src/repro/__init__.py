@@ -15,6 +15,9 @@ Encryption with Programmable Bootstrapping" (MICRO 2023):
   pipeline, memory system, area/power).
 * :mod:`repro.sim` — the cycle-level simulation framework (computation
   graphs, blind-rotation fragments, epoch scheduling, occupancy traces).
+* :mod:`repro.sched` — the scheduling core shared by the simulator and
+  serving paths: placement layouts (data-parallel / pipeline / elastic)
+  and batch cost models (analytical / event-driven).
 * :mod:`repro.baselines` — CPU / GPU analytical models and published
   FPGA/ASIC reference points.
 * :mod:`repro.apps` — Zama Deep-NN, boolean circuits, workload generators

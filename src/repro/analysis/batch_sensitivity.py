@@ -78,7 +78,6 @@ def batch_sensitivity_study(
     gpu = NuFheGpuModel()
     counts = ciphertext_counts or [1, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]
 
-    timing = accelerator.pipeline_timing(params)
     config = accelerator.config
     points = []
     for count in counts:

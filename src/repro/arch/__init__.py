@@ -19,6 +19,7 @@ from repro.arch.config import (
 )
 from repro.arch.accelerator import StrixAccelerator, PbsPerformance
 from repro.arch.area_power import AreaPowerModel
+from repro.arch.interconnect import InterconnectModel
 
 __all__ = [
     "StrixConfig",
@@ -29,4 +30,5 @@ __all__ = [
     "StrixAccelerator",
     "PbsPerformance",
     "AreaPowerModel",
+    "InterconnectModel",
 ]

@@ -15,7 +15,7 @@ evaluation needs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch.config import StrixConfig
 from repro.arch.functional_units import (

@@ -12,9 +12,9 @@ serving) builds on.
 from __future__ import annotations
 
 import abc
-import difflib
 from typing import TYPE_CHECKING, Any, Callable, ClassVar
 
+from repro.errors import UnknownNameError
 from repro.params import TFHEParameters
 from repro.runtime.result import RunResult
 
@@ -48,29 +48,16 @@ class Backend(abc.ABC):
         """
 
 
-class UnknownBackendError(KeyError):
+class UnknownBackendError(UnknownNameError):
     """Raised when a backend name is not in the registry.
 
-    Subclasses ``KeyError`` for compatibility with callers that catch the
-    registry's historical exception, but renders as a plain sentence (bare
-    ``KeyError`` wraps its message in quotes) listing every registered
-    backend and, when one is close, a did-you-mean suggestion.
+    The shared :class:`~repro.errors.UnknownNameError` shape: still a
+    ``KeyError`` for callers catching the registry's historical exception,
+    renders as a plain sentence listing every registered backend with a
+    did-you-mean suggestion, and survives pickling.
     """
 
-    def __init__(self, name: str, registered: list[str]):
-        self.name = name
-        self.registered = registered
-        message = f"unknown backend {name!r}; registered backends: {registered}"
-        matches = difflib.get_close_matches(name, registered, n=1)
-        if matches:
-            message += f" — did you mean {matches[0]!r}?"
-        super().__init__(message)
-
-    def __str__(self) -> str:  # KeyError.__str__ shows repr(args[0]); undo that.
-        return self.args[0]
-
-    def __reduce__(self):  # BaseException pickles as cls(*args); args is the message.
-        return (type(self), (self.name, self.registered))
+    kind = "backend"
 
 
 _REGISTRY: dict[str, Callable[..., Backend]] = {}

@@ -1,0 +1,64 @@
+"""Unified scheduling core shared by the simulator and serving paths.
+
+Two orthogonal seams, both string-registered and pluggable:
+
+* **Cost models** (:mod:`repro.sched.cost`) price a serving batch on one
+  device: :class:`AnalyticalCostModel` keeps the closed-form epoch-stream
+  arithmetic (``pbs_batch_time_ms``) as the fast default, while
+  :class:`EventDrivenCostModel` lowers the batch's real request composition
+  to a computation graph and runs the cycle-level
+  :class:`~repro.sim.scheduler.StrixScheduler` on it, so per-epoch
+  keyswitch overlap and epoch fragmentation become visible in serving
+  latency.
+* **Placement layouts** (:mod:`repro.sched.layouts`) decide *where* work
+  lands on the cluster: :class:`DataParallelLayout` (every device runs every
+  layer; one batch → one device), :class:`PipelineLayout` (stage-per-device
+  for deep LUT pipelines, charging inter-stage ciphertext transfers), and
+  :class:`ElasticLayout` (autoscaling the active device count from
+  queue-backlog signals with a configurable scale-up latency).  All layouts
+  charge BSK/KSK key shipping on tenant migration through the shared
+  :class:`~repro.arch.interconnect.InterconnectModel`.
+
+The invariant tying everything back to the paper: one device, the
+data-parallel layout, the analytical cost model and zero overheads
+reproduce the single-device simulator numbers bit-for-bit.
+"""
+
+from repro.sched.cost import (
+    AnalyticalCostModel,
+    BatchCost,
+    CostModel,
+    EventDrivenCostModel,
+    batch_graph,
+    get_cost_model,
+    list_cost_models,
+)
+from repro.sched.layouts import (
+    DataParallelLayout,
+    Dispatch,
+    ElasticLayout,
+    PipelineLayout,
+    PlacementLayout,
+    get_layout,
+    list_layouts,
+)
+from repro.sched.partition import StagePlan, partition_graph_stages
+
+__all__ = [
+    "AnalyticalCostModel",
+    "BatchCost",
+    "CostModel",
+    "DataParallelLayout",
+    "Dispatch",
+    "ElasticLayout",
+    "EventDrivenCostModel",
+    "PipelineLayout",
+    "PlacementLayout",
+    "StagePlan",
+    "batch_graph",
+    "get_cost_model",
+    "get_layout",
+    "list_cost_models",
+    "list_layouts",
+    "partition_graph_stages",
+]

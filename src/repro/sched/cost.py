@@ -1,0 +1,251 @@
+"""Batch cost models: how a serving batch's service time is priced.
+
+The serving path dispatches flushed batches to devices; *how long* a batch
+occupies its device is the cost model's answer.  Two implementations share
+one protocol:
+
+* :class:`AnalyticalCostModel` — the closed-form epoch-stream shortcut
+  (``pbs_batch_time_ms`` plus host-side linear work).  Fast — thousands of
+  batches per second of wall clock — and the default, because it reproduces
+  the pre-refactor serving numbers bit-for-bit.
+* :class:`EventDrivenCostModel` — lowers the batch's real request
+  composition to a :class:`~repro.sim.graph.ComputationGraph` (encryption
+  traffic → a LINEAR node, gate/bootstrap traffic → a fused PBS+KS node,
+  each inference request → its model's full layer graph) and runs the
+  cycle-level :class:`~repro.sim.scheduler.StrixScheduler` on it.  Slower,
+  but per-epoch keyswitch overlap, epoch fragmentation across dependency
+  levels and blind-rotation/linear overlap become visible in serving
+  latency.
+
+Cost models price *compute residency only*; interconnect transfers,
+dispatch overhead and key shipping are charged by the placement layout so
+the same cost model composes with every layout.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import UnknownCostModelError
+from repro.params import TFHEParameters
+from repro.sim.graph import ComputationGraph, ComputationNode
+from repro.sim.scheduler import StrixScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.serve.batcher import Batch
+    from repro.serve.cluster import StrixDevice
+
+
+@dataclass(frozen=True)
+class BatchCost:
+    """Compute residency of one batch (or one pipeline stage) on one device.
+
+    Attributes
+    ----------
+    compute_s:
+        Seconds the device's compute pipelines are occupied.  Excludes
+        interconnect transfers, key shipping and dispatch overhead — those
+        belong to the placement layout.
+    pbs:
+        Bootstraps executed (what the stage contributes to device PBS
+        counters).
+    epochs:
+        Scheduling epochs the work decomposed into.
+    breakdown:
+        Named components of ``compute_s`` (e.g. ``pbs_s`` / ``linear_s``
+        for the analytical model, ``event_s`` for the event-driven one).
+    """
+
+    compute_s: float
+    pbs: int
+    epochs: int
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+
+def batch_graph(batch: "Batch", params: TFHEParameters) -> ComputationGraph:
+    """Lower a serving batch to the computation graph it really executes.
+
+    PBS-free requests (encryption traffic) coalesce into one LINEAR node and
+    fixed-cost bootstrap/gate requests into one fused PBS+KS node — the
+    batcher packs them into a single epoch stream, so per-request nodes
+    would overstate fragmentation.  Inference requests keep their model's
+    full layer structure (scaled by the request's sample count), because the
+    layer dependencies are exactly what limits batching and produces the
+    fragmentation/keyswitch effects the event-driven model exists to see.
+    """
+    graph = ComputationGraph(params, name=f"batch-{batch.batch_id}")
+    linear_items = sum(
+        request.items for request in batch.requests if request.pbs_per_item == 0
+    )
+    if linear_items:
+        graph.add_linear_layer("linear", linear_items, params.n)
+    simple_pbs = sum(
+        request.total_pbs
+        for request in batch.requests
+        if request.pbs_per_item > 0 and request.model is None
+    )
+    if simple_pbs:
+        graph.add_pbs_layer("pbs", simple_pbs)
+    for request in batch.requests:
+        if request.model is None or request.pbs_per_item == 0:
+            continue
+        from repro.apps.deep_nn import ZAMA_DEEP_NN_MODELS, build_deep_nn_graph
+
+        model_graph = build_deep_nn_graph(ZAMA_DEEP_NN_MODELS[request.model], params)
+        prefix = f"req{request.request_id}/"
+        for node in model_graph.nodes:
+            graph.add_node(
+                ComputationNode(
+                    name=prefix + node.name,
+                    kind=node.kind,
+                    ciphertexts=node.ciphertexts * request.items,
+                    operations_per_ciphertext=node.operations_per_ciphertext,
+                    depends_on=[prefix + dep for dep in node.depends_on],
+                )
+            )
+    return graph
+
+
+class CostModel(abc.ABC):
+    """Prices serving batches (and pipeline stages) on one device."""
+
+    #: Registry name of the cost model.
+    name = ""
+
+    @abc.abstractmethod
+    def batch_cost(
+        self, batch: "Batch", params: TFHEParameters, device: "StrixDevice"
+    ) -> BatchCost:
+        """Compute residency of the whole batch executing on ``device``."""
+
+    @abc.abstractmethod
+    def stage_cost(
+        self,
+        stage_graph: ComputationGraph,
+        params: TFHEParameters,
+        device: "StrixDevice",
+    ) -> BatchCost:
+        """Compute residency of one pipeline-stage subgraph on ``device``."""
+
+
+class AnalyticalCostModel(CostModel):
+    """Closed-form epoch-stream pricing (the fast default).
+
+    Bootstraps stream through the device's epoch pipeline
+    (``pbs_batch_time_ms``, which already folds keyswitch drain into the
+    final epoch); PBS-free items only cost host-side linear work on the
+    vector pipeline.  This is exactly the arithmetic the serving tier used
+    before the scheduling core existed, term for term, so one device plus
+    this model reproduces historical serving numbers bit-for-bit.
+    """
+
+    name = "analytical"
+
+    def batch_cost(
+        self, batch: "Batch", params: TFHEParameters, device: "StrixDevice"
+    ) -> BatchCost:
+        accelerator = device.accelerator
+        pbs_s = accelerator.pbs_batch_time_ms(params, batch.total_pbs) / 1e3
+        linear_items = sum(
+            request.items for request in batch.requests if request.pbs_per_item == 0
+        )
+        linear_s = (
+            linear_items
+            * params.n
+            / StrixScheduler.linear_macs_per_second(accelerator.config)
+        )
+        return BatchCost(
+            compute_s=pbs_s + linear_s,
+            pbs=batch.total_pbs,
+            epochs=self._epochs(batch.total_pbs, params, device),
+            breakdown={"pbs_s": pbs_s, "linear_s": linear_s},
+        )
+
+    def stage_cost(
+        self,
+        stage_graph: ComputationGraph,
+        params: TFHEParameters,
+        device: "StrixDevice",
+    ) -> BatchCost:
+        accelerator = device.accelerator
+        pbs = stage_graph.total_pbs()
+        pbs_s = accelerator.pbs_batch_time_ms(params, pbs) / 1e3 if pbs else 0.0
+        linear_s = stage_graph.total_linear_operations() / (
+            StrixScheduler.linear_macs_per_second(accelerator.config)
+        )
+        return BatchCost(
+            compute_s=pbs_s + linear_s,
+            pbs=pbs,
+            epochs=self._epochs(pbs, params, device),
+            breakdown={"pbs_s": pbs_s, "linear_s": linear_s},
+        )
+
+    @staticmethod
+    def _epochs(pbs: int, params: TFHEParameters, device: "StrixDevice") -> int:
+        if pbs <= 0:
+            return 0
+        capacity = device.accelerator.config.tvlp * (
+            device.accelerator.core.core_batch_size(params)
+        )
+        return -(-pbs // capacity)
+
+
+class EventDrivenCostModel(CostModel):
+    """Cycle-level pricing: run the batch's real graph on the scheduler.
+
+    Service times differ from the analytical model only through
+    scheduler-visible effects — per-epoch keyswitch overlap, epoch
+    fragmentation across a model's dependency levels, and linear work
+    overlapping blind rotation on its own resource — at the cost of one
+    discrete-event simulation per batch.
+    """
+
+    name = "event"
+
+    def batch_cost(
+        self, batch: "Batch", params: TFHEParameters, device: "StrixDevice"
+    ) -> BatchCost:
+        return self.stage_cost(batch_graph(batch, params), params, device)
+
+    def stage_cost(
+        self,
+        stage_graph: ComputationGraph,
+        params: TFHEParameters,
+        device: "StrixDevice",
+    ) -> BatchCost:
+        if not len(stage_graph):
+            return BatchCost(compute_s=0.0, pbs=0, epochs=0, breakdown={})
+        schedule = device.scheduler.run(stage_graph)
+        return BatchCost(
+            compute_s=schedule.total_time_s,
+            pbs=schedule.total_pbs,
+            epochs=schedule.total_epochs,
+            breakdown={"event_s": schedule.total_time_s},
+        )
+
+
+_COST_MODELS: dict[str, Callable[[], CostModel]] = {
+    model.name: model for model in (AnalyticalCostModel, EventDrivenCostModel)
+}
+
+
+def list_cost_models() -> list[str]:
+    """Names of all registered cost models, sorted."""
+    return sorted(_COST_MODELS)
+
+
+def get_cost_model(model: "str | CostModel") -> CostModel:
+    """Resolve a cost-model name (or pass an instance through).
+
+    Raises :class:`~repro.errors.UnknownCostModelError` — the shared
+    did-you-mean shape — for unknown names.
+    """
+    if isinstance(model, CostModel):
+        return model
+    try:
+        factory = _COST_MODELS[model]
+    except KeyError:
+        raise UnknownCostModelError(model, list_cost_models()) from None
+    return factory()

@@ -1,0 +1,661 @@
+"""Placement layouts: how work lands on the cluster's devices.
+
+A layout owns both execution paths of a :class:`~repro.serve.cluster
+.StrixCluster`:
+
+* the **serving path** (:meth:`PlacementLayout.dispatch`) — where a flushed
+  batch executes, which devices it occupies and for how long;
+* the **one-shot path** (:meth:`PlacementLayout.run_workload`) — how one
+  large workload spreads over the devices and aggregates into a
+  :class:`~repro.runtime.result.RunResult`.
+
+Three layouts ship:
+
+* ``data-parallel`` — every device can run every layer; a batch goes whole
+  to one device (chosen by the sharding policy) and one-shot workloads
+  shard per-node across all devices.  This is the pre-refactor behaviour:
+  with one device, zero overheads and the analytical cost model it
+  reproduces the single-device simulator bit-for-bit.
+* ``pipeline`` — stage-per-device: the workload's dependency levels are cut
+  into contiguous stages, one per device, and ciphertexts crossing a stage
+  boundary are charged on the cluster interconnect.  Trades the
+  data-parallel layout's straggler imbalance for inter-device transfer —
+  the right trade for deep LUT pipelines whose layers don't fill a chip.
+* ``elastic`` — data-parallel dispatch over an *autoscaled* subset of
+  devices: the active count grows when the least-loaded active device's
+  backlog exceeds a threshold (after a configurable scale-up latency —
+  freshly provisioned devices are not instantly useful) and shrinks when
+  the fleet has been idle.
+
+Every layout charges BSK/KSK **key shipping** through the shared
+:class:`~repro.arch.interconnect.InterconnectModel` when a tenant's batch
+lands on a device that does not hold its keys.  The *first* placement is
+free (keys are provisioned at onboarding), so single-device clusters — and
+tenant-sticky policies — never pay it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import UnknownLayoutError
+from repro.params import TFHEParameters
+from repro.runtime.result import RunResult
+from repro.runtime.workload import WorkloadLike, as_graph, as_netlist
+from repro.sched.partition import partition_graph_stages
+from repro.sim.compiler import Netlist, compile_netlist
+from repro.sim.graph import ComputationGraph, ComputationNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.serve.batcher import Batch
+    from repro.serve.cluster import StrixCluster
+
+
+@dataclass(frozen=True)
+class StageDispatch:
+    """One pipeline stage's slice of a dispatched batch."""
+
+    device: int
+    start_s: float
+    end_s: float
+    compute_s: float
+    transfer_in_s: float
+    pbs: int
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """Where and when one serving batch executed.
+
+    Iterates as the historical ``(device, start_s, end_s)`` triple so
+    existing ``device, start, end = cluster.dispatch(...)`` call sites keep
+    working; ``device`` is the device that *completes* the batch (the last
+    stage under the pipeline layout).
+    """
+
+    device: int
+    start_s: float
+    end_s: float
+    devices: tuple[int, ...] = ()
+    breakdown: dict[str, float] = field(default_factory=dict)
+    stages: tuple[StageDispatch, ...] = ()
+
+    def __iter__(self):
+        return iter((self.device, self.start_s, self.end_s))
+
+
+@dataclass(frozen=True)
+class DeviceShardResult:
+    """One device's contribution to a sharded workload run."""
+
+    device: int
+    latency_s: float
+    pbs: int
+    epochs: int
+    utilization: dict[str, float]
+    energy_j: float
+
+
+class PlacementLayout(abc.ABC):
+    """Strategy for placing serving batches and one-shot workloads."""
+
+    #: Registry name of the layout.
+    name = ""
+
+    def __init__(self) -> None:
+        #: Devices currently holding each tenant's BSK/KSK set.
+        self._tenant_homes: dict[str, frozenset[int]] = {}
+
+    @abc.abstractmethod
+    def dispatch(
+        self,
+        cluster: "StrixCluster",
+        batch: "Batch",
+        now: float,
+        params: TFHEParameters,
+    ) -> Dispatch:
+        """Execute ``batch`` on the cluster, updating device busy horizons."""
+
+    @abc.abstractmethod
+    def run_workload(
+        self,
+        cluster: "StrixCluster",
+        workload: WorkloadLike,
+        params: "TFHEParameters | str | None",
+        instances: int,
+    ) -> RunResult:
+        """Execute one large workload across the cluster."""
+
+    def reset(self) -> None:
+        """Clear placement state between simulations."""
+        self._tenant_homes.clear()
+
+    # -- key residency -----------------------------------------------------------
+
+    def _key_shipping_s(
+        self,
+        cluster: "StrixCluster",
+        batch: "Batch",
+        targets: tuple[int, ...],
+        params: TFHEParameters,
+    ) -> float:
+        """Seconds of BSK/KSK shipping this dispatch triggers.
+
+        A device that ever received a tenant's keys keeps them (eviction
+        under an HBM key-memory budget is not modelled — see the ROADMAP),
+        so landing on a device outside the tenant's accumulated home set
+        ships one full key set per missing device, once.  The first
+        placement is free — onboarding provisions keys — which keeps
+        one-device clusters bit-for-bit with the single-device simulator.
+        """
+        target = frozenset(targets)
+        per_key_s = cluster.interconnect.key_shipping_s(params)
+        shipping = 0.0
+        for tenant in sorted(batch.tenants):
+            homes = self._tenant_homes.get(tenant)
+            if homes is None:
+                self._tenant_homes[tenant] = target
+                continue
+            missing = target - homes
+            if missing:
+                shipping += len(missing) * per_key_s
+                self._tenant_homes[tenant] = homes | target
+        return shipping
+
+    def _dispatch_to_device(
+        self,
+        cluster: "StrixCluster",
+        batch: "Batch",
+        now: float,
+        params: TFHEParameters,
+        index: int,
+        effective_busy: float,
+        extra_breakdown: dict[str, float] | None = None,
+    ) -> Dispatch:
+        """Price and book one whole batch onto one device.
+
+        The single-device service arithmetic shared by the data-parallel
+        and elastic layouts: cost-model compute, ciphertext transfer,
+        dispatch overhead and key shipping — summed in exactly this order,
+        which is what keeps the one-device analytical case bit-for-bit with
+        the historical serving tier.
+        """
+        device = cluster.devices[index]
+        cost = cluster.cost_model.batch_cost(batch, params, device)
+        transfer_s = cluster.interconnect.ciphertext_transfer_s(
+            params, batch.total_items
+        )
+        shipping_s = self._key_shipping_s(cluster, batch, (index,), params)
+        service = (
+            cost.compute_s
+            + transfer_s
+            + cluster.config.dispatch_overhead_s
+            + shipping_s
+        )
+        start = max(now, effective_busy)
+        end = start + service
+        device.busy_until = end
+        device.busy_s += service
+        device.batches += 1
+        device.pbs += batch.total_pbs
+        return Dispatch(
+            device=index,
+            start_s=start,
+            end_s=end,
+            devices=(index,),
+            breakdown={
+                **cost.breakdown,
+                "transfer_s": transfer_s,
+                "dispatch_s": cluster.config.dispatch_overhead_s,
+                "key_shipping_s": shipping_s,
+                **(extra_breakdown or {}),
+            },
+        )
+
+
+# -- data-parallel shard execution (shared by data-parallel and elastic runs) --------
+
+
+def _shard_netlist(
+    cluster: "StrixCluster", netlist: Netlist, instances: int
+) -> list[ComputationGraph | None]:
+    """Shard a replicated netlist at instance granularity."""
+    shares = cluster.policy.partition(instances, len(cluster.devices))
+    return [
+        compile_netlist(netlist, share) if share > 0 else None for share in shares
+    ]
+
+
+def _shard_graph(
+    cluster: "StrixCluster", graph: ComputationGraph
+) -> list[ComputationGraph | None]:
+    """Split every node's ciphertexts across the devices.
+
+    Zero-ciphertext nodes are kept in place (the epoch scheduler costs them
+    at zero), so the dependency structure never needs rewiring and every
+    device sees the same critical-path shape.
+    """
+    device_count = len(cluster.devices)
+    shards = [
+        ComputationGraph(graph.params, name=f"{graph.name}@dev{index}")
+        for index in range(device_count)
+    ]
+    totals = [0] * device_count
+    for node_index, node in enumerate(graph.nodes):
+        shares = cluster.policy.partition(
+            node.ciphertexts, device_count, offset=node_index
+        )
+        for device_index, share in enumerate(shares):
+            totals[device_index] += share
+            shards[device_index].add_node(
+                ComputationNode(
+                    name=node.name,
+                    kind=node.kind,
+                    ciphertexts=share,
+                    operations_per_ciphertext=node.operations_per_ciphertext,
+                    depends_on=list(node.depends_on),
+                )
+            )
+    return [shard if total > 0 else None for shard, total in zip(shards, totals)]
+
+
+def _run_shards(
+    cluster: "StrixCluster",
+    name: str,
+    params: TFHEParameters,
+    shards: list[ComputationGraph | None],
+    layout: str,
+) -> RunResult:
+    per_device: list[DeviceShardResult] = []
+    utilization: dict[str, float] = {}
+    for device, shard in zip(cluster.devices, shards):
+        if shard is None:
+            continue
+        schedule = device.scheduler.run(shard)
+        energy = device.energy_model.workload_energy_j(schedule.total_time_s)
+        per_device.append(
+            DeviceShardResult(
+                device=device.index,
+                latency_s=schedule.total_time_s,
+                pbs=schedule.total_pbs,
+                epochs=schedule.total_epochs,
+                utilization=dict(schedule.core_utilization),
+                energy_j=energy,
+            )
+        )
+        for core, value in schedule.core_utilization.items():
+            utilization[f"dev{device.index}/{core}"] = value
+
+    latencies = [entry.latency_s for entry in per_device]
+    slowest = max(latencies, default=0.0)
+    mean_latency = sum(latencies) / len(latencies) if latencies else 0.0
+    total_latency = slowest + cluster.config.dispatch_overhead_s
+    total_energy = sum(entry.energy_j for entry in per_device)
+    return RunResult(
+        workload=name,
+        backend=cluster.backend_name,
+        parameter_set=params.name,
+        latency_s=total_latency,
+        pbs_count=sum(entry.pbs for entry in per_device),
+        utilization=utilization,
+        energy_j=total_energy,
+        details={
+            "devices": len(cluster.devices),
+            "active_devices": len(per_device),
+            "policy": cluster.policy.name,
+            "layout": layout,
+            "epochs": sum(entry.epochs for entry in per_device),
+            "per_device": per_device,
+            "straggler": {
+                "slowest_s": slowest,
+                "mean_s": mean_latency,
+                "straggler_s": slowest - mean_latency,
+                "imbalance": slowest / mean_latency if mean_latency > 0 else 0.0,
+            },
+        },
+    )
+
+
+def _run_data_parallel(
+    cluster: "StrixCluster",
+    workload: WorkloadLike,
+    params: "TFHEParameters | str | None",
+    instances: int,
+    layout: str,
+) -> RunResult:
+    """Shard one workload across all devices (the data-parallel run path)."""
+    if isinstance(workload, Netlist) and instances > 1:
+        resolved = as_netlist(workload, params)
+        shards = _shard_netlist(cluster, resolved, instances)
+        # compile_netlist names the full graph f"{name}-x{instances}";
+        # match it without compiling the whole replicated netlist again.
+        name = f"{resolved.name}-x{instances}"
+        workload_params = resolved.params
+    else:
+        full_graph = as_graph(workload, params, instances)
+        shards = _shard_graph(cluster, full_graph)
+        name = full_graph.name
+        workload_params = full_graph.params
+    return _run_shards(cluster, name, workload_params, shards, layout)
+
+
+class DataParallelLayout(PlacementLayout):
+    """Every device runs every layer; one batch occupies one device."""
+
+    name = "data-parallel"
+
+    def dispatch(
+        self,
+        cluster: "StrixCluster",
+        batch: "Batch",
+        now: float,
+        params: TFHEParameters,
+    ) -> Dispatch:
+        busy_until = [device.busy_until for device in cluster.devices]
+        index = cluster.policy.select(busy_until, batch)
+        return self._dispatch_to_device(
+            cluster, batch, now, params, index, cluster.devices[index].busy_until
+        )
+
+    def run_workload(
+        self,
+        cluster: "StrixCluster",
+        workload: WorkloadLike,
+        params: "TFHEParameters | str | None",
+        instances: int,
+    ) -> RunResult:
+        return _run_data_parallel(cluster, workload, params, instances, self.name)
+
+
+class PipelineLayout(PlacementLayout):
+    """Stage-per-device placement for deep LUT pipelines.
+
+    The workload's dependency levels are cut into contiguous stages (one
+    per device, balanced by PBS weight); ciphertexts crossing each stage
+    boundary are charged on the cluster interconnect, and every stage
+    device must hold the batch's tenant keys.
+    """
+
+    name = "pipeline"
+
+    def dispatch(
+        self,
+        cluster: "StrixCluster",
+        batch: "Batch",
+        now: float,
+        params: TFHEParameters,
+    ) -> Dispatch:
+        from repro.sched.cost import batch_graph
+
+        plan = partition_graph_stages(batch_graph(batch, params), len(cluster.devices))
+        targets = tuple(range(len(plan.graphs)))
+        shipping_s = self._key_shipping_s(cluster, batch, targets, params)
+        input_transfer_s = cluster.interconnect.ciphertext_transfer_s(
+            params, batch.total_items
+        )
+
+        stages: list[StageDispatch] = []
+        compute_total = 0.0
+        transfer_total = input_transfer_s
+        entry = now + input_transfer_s + shipping_s
+        for stage_index, stage_graph in enumerate(plan.graphs):
+            device = cluster.devices[stage_index]
+            if stage_index > 0:
+                transfer_in = cluster.interconnect.ciphertext_transfer_s(
+                    params, plan.boundary_ciphertexts[stage_index]
+                )
+                entry += transfer_in
+                transfer_total += transfer_in
+            else:
+                transfer_in = input_transfer_s
+            cost = cluster.cost_model.stage_cost(stage_graph, params, device)
+            start = max(entry, device.busy_until)
+            end = start + cost.compute_s
+            device.busy_until = end
+            device.busy_s += cost.compute_s
+            device.batches += 1
+            device.pbs += cost.pbs
+            compute_total += cost.compute_s
+            stages.append(
+                StageDispatch(
+                    device=device.index,
+                    start_s=start,
+                    end_s=end,
+                    compute_s=cost.compute_s,
+                    transfer_in_s=transfer_in,
+                    pbs=cost.pbs,
+                )
+            )
+            entry = end
+
+        end = entry + cluster.config.dispatch_overhead_s
+        return Dispatch(
+            device=stages[-1].device if stages else 0,
+            start_s=stages[0].start_s if stages else now,
+            end_s=end,
+            devices=tuple(stage.device for stage in stages),
+            breakdown={
+                "compute_s": compute_total,
+                "stage_transfer_s": transfer_total,
+                "dispatch_s": cluster.config.dispatch_overhead_s,
+                "key_shipping_s": shipping_s,
+            },
+            stages=tuple(stages),
+        )
+
+    def run_workload(
+        self,
+        cluster: "StrixCluster",
+        workload: WorkloadLike,
+        params: "TFHEParameters | str | None",
+        instances: int,
+    ) -> RunResult:
+        """Schedule one workload's stages on consecutive devices.
+
+        Latency for a single traversal is the *sum* of stage times plus the
+        boundary transfers (stages only overlap across successive batches,
+        which the serving path models); the per-stage breakdown lands in
+        ``details["stages"]``.
+        """
+        graph = as_graph(workload, params, instances)
+        plan = partition_graph_stages(graph, len(cluster.devices))
+        stage_details: list[dict] = []
+        utilization: dict[str, float] = {}
+        latency = 0.0
+        transfer_total = 0.0
+        energy_total = 0.0
+        pbs_total = 0
+        epoch_total = 0
+        for stage_index, stage_graph in enumerate(plan.graphs):
+            device = cluster.devices[stage_index]
+            schedule = device.scheduler.run(stage_graph)
+            transfer_s = (
+                cluster.interconnect.ciphertext_transfer_s(
+                    graph.params, plan.boundary_ciphertexts[stage_index]
+                )
+                if stage_index > 0
+                else 0.0
+            )
+            energy = device.energy_model.workload_energy_j(schedule.total_time_s)
+            latency += transfer_s + schedule.total_time_s
+            transfer_total += transfer_s
+            energy_total += energy
+            pbs_total += schedule.total_pbs
+            epoch_total += schedule.total_epochs
+            for core, value in schedule.core_utilization.items():
+                utilization[f"dev{device.index}/{core}"] = value
+            stage_details.append(
+                {
+                    "device": device.index,
+                    "latency_s": schedule.total_time_s,
+                    "transfer_in_s": transfer_s,
+                    "pbs": schedule.total_pbs,
+                    "epochs": schedule.total_epochs,
+                }
+            )
+        latency += cluster.config.dispatch_overhead_s
+        return RunResult(
+            workload=graph.name,
+            backend=cluster.backend_name,
+            parameter_set=graph.params.name,
+            latency_s=latency,
+            pbs_count=pbs_total,
+            utilization=utilization,
+            energy_j=energy_total,
+            details={
+                "devices": len(cluster.devices),
+                "active_devices": len(plan.graphs),
+                "policy": cluster.policy.name,
+                "layout": self.name,
+                "epochs": epoch_total,
+                "stages": stage_details,
+                "stage_transfer_s": transfer_total,
+                "key_shipping_s": 0.0,
+            },
+        )
+
+
+class ElasticLayout(PlacementLayout):
+    """Autoscaled data-parallel dispatch.
+
+    Starts with ``min_devices`` active.  When the least-loaded active
+    device's backlog (how far its busy horizon runs past *now*) exceeds
+    ``scale_up_backlog_s``, one more device is provisioned — usable only
+    after ``scale_up_latency_s``, the p99-versus-cost trade the serving
+    simulation exists to expose.  When every active device has idled for
+    ``scale_down_idle_s`` the newest device is released.  One-shot
+    ``run_workload`` calls use the whole fleet (autoscaling is a serving
+    concept).
+    """
+
+    name = "elastic"
+
+    def __init__(
+        self,
+        min_devices: int = 1,
+        scale_up_backlog_s: float = 2e-3,
+        scale_up_latency_s: float = 5e-3,
+        scale_down_idle_s: float = 50e-3,
+    ) -> None:
+        super().__init__()
+        if min_devices < 1:
+            raise ValueError("an elastic layout needs at least one active device")
+        if scale_up_latency_s < 0 or scale_up_backlog_s < 0 or scale_down_idle_s < 0:
+            raise ValueError("elastic thresholds cannot be negative")
+        self.min_devices = min_devices
+        self.scale_up_backlog_s = scale_up_backlog_s
+        self.scale_up_latency_s = scale_up_latency_s
+        self.scale_down_idle_s = scale_down_idle_s
+        self._active: list[int] = []
+        self._available_at: dict[int, float] = {}
+        self.scale_ups = 0
+        self.scale_downs = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._active = []
+        self._available_at = {}
+        self.scale_ups = 0
+        self.scale_downs = 0
+
+    def _effective_busy(self, cluster: "StrixCluster", index: int) -> float:
+        return max(
+            cluster.devices[index].busy_until, self._available_at.get(index, 0.0)
+        )
+
+    def _autoscale(self, cluster: "StrixCluster", now: float) -> None:
+        if not self._active:
+            self._active = list(range(min(self.min_devices, len(cluster.devices))))
+        # A device still being provisioned is capacity already on its way:
+        # it neither counts toward the backlog signal nor allows another
+        # scale-up, otherwise its own provisioning delay would read as
+        # backlog and cascade the whole fleet up from one blip.
+        provisioning = any(
+            self._available_at.get(index, 0.0) > now for index in self._active
+        )
+        ready = [
+            index
+            for index in self._active
+            if self._available_at.get(index, 0.0) <= now
+        ]
+        backlog = min(
+            (cluster.devices[index].busy_until - now for index in ready),
+            default=0.0,
+        )
+        if (
+            not provisioning
+            and backlog > self.scale_up_backlog_s
+            and len(self._active) < len(cluster.devices)
+        ):
+            new_index = next(
+                index
+                for index in range(len(cluster.devices))
+                if index not in self._active
+            )
+            self._active.append(new_index)
+            self._available_at[new_index] = now + self.scale_up_latency_s
+            self.scale_ups += 1
+        elif len(self._active) > self.min_devices and all(
+            self._effective_busy(cluster, index) + self.scale_down_idle_s <= now
+            for index in self._active
+        ):
+            released = self._active.pop()
+            self._available_at.pop(released, None)
+            self.scale_downs += 1
+
+    def dispatch(
+        self,
+        cluster: "StrixCluster",
+        batch: "Batch",
+        now: float,
+        params: TFHEParameters,
+    ) -> Dispatch:
+        self._autoscale(cluster, now)
+        busy = [self._effective_busy(cluster, index) for index in self._active]
+        index = self._active[cluster.policy.select(busy, batch)]
+        return self._dispatch_to_device(
+            cluster,
+            batch,
+            now,
+            params,
+            index,
+            self._effective_busy(cluster, index),
+            extra_breakdown={"active_devices": float(len(self._active))},
+        )
+
+    def run_workload(
+        self,
+        cluster: "StrixCluster",
+        workload: WorkloadLike,
+        params: "TFHEParameters | str | None",
+        instances: int,
+    ) -> RunResult:
+        return _run_data_parallel(cluster, workload, params, instances, self.name)
+
+
+_LAYOUTS: dict[str, Callable[[], PlacementLayout]] = {
+    layout.name: layout
+    for layout in (DataParallelLayout, PipelineLayout, ElasticLayout)
+}
+
+
+def list_layouts() -> list[str]:
+    """Names of all placement layouts, sorted."""
+    return sorted(_LAYOUTS)
+
+
+def get_layout(layout: "str | PlacementLayout") -> PlacementLayout:
+    """Resolve a layout name (or pass an instance through).
+
+    Raises :class:`~repro.errors.UnknownLayoutError` — the shared
+    did-you-mean shape — for unknown names.
+    """
+    if isinstance(layout, PlacementLayout):
+        return layout
+    try:
+        factory = _LAYOUTS[layout]
+    except KeyError:
+        raise UnknownLayoutError(layout, list_layouts()) from None
+    return factory()

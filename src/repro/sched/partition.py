@@ -1,0 +1,124 @@
+"""Contiguous stage partitioning of computation graphs.
+
+The pipeline layout assigns one *stage* of a workload to each device.  A
+stage is a contiguous range of dependency levels (so every cross-stage edge
+points forward), balanced by PBS weight — the quantity that dominates
+device occupancy.  The partitioner also reports how many ciphertexts cross
+each stage boundary, which is what the interconnect model charges for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.graph import ComputationGraph, ComputationNode
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """A computation graph split into pipeline stages.
+
+    Attributes
+    ----------
+    graphs:
+        One subgraph per stage, dependencies filtered to in-stage edges
+        (cross-stage ordering is enforced by the layout serializing stage
+        ``i + 1`` after stage ``i``).
+    boundary_ciphertexts:
+        Per stage, the ciphertexts that must arrive from earlier stages
+        before the stage can run.  Stage 0 reads its inputs from the host,
+        so its entry is 0 here (the layout charges the host transfer
+        separately).
+    """
+
+    graphs: list[ComputationGraph]
+    boundary_ciphertexts: list[int]
+
+    @property
+    def stages(self) -> int:
+        """Number of stages the graph was split into."""
+        return len(self.graphs)
+
+
+def _level_weight(level: list[ComputationNode]) -> int:
+    """Balancing weight of one dependency level (PBS-dominated)."""
+    pbs = sum(node.pbs_count() for node in level)
+    # Pure-linear levels are cheap but not free; weight 1 keeps the greedy
+    # cut from assigning a run of linear levels zero width.
+    return max(pbs, 1)
+
+
+def partition_graph_stages(graph: ComputationGraph, stages: int) -> StagePlan:
+    """Split ``graph`` into at most ``stages`` contiguous level groups.
+
+    Greedy cut on cumulative PBS weight: each stage closes once it holds at
+    least its share of the remaining weight, except when the remaining
+    stages would otherwise run out of levels.  A graph with fewer
+    dependency levels than requested stages yields fewer (non-empty)
+    stages — trailing devices simply idle.
+    """
+    if stages < 1:
+        raise ValueError("a pipeline needs at least one stage")
+    levels = graph.levels()
+    if not levels:
+        return StagePlan(graphs=[], boundary_ciphertexts=[])
+    count = min(stages, len(levels))
+    weights = [_level_weight(level) for level in levels]
+    total = sum(weights)
+
+    groups: list[list[list[ComputationNode]]] = []
+    current: list[list[ComputationNode]] = []
+    accumulated = 0
+    consumed_weight = 0
+    for index, level in enumerate(levels):
+        current.append(level)
+        accumulated += weights[index]
+        levels_left = len(levels) - index - 1
+        groups_left = count - len(groups) - 1
+        if groups_left <= 0:
+            continue
+        target = (total - consumed_weight) / (groups_left + 1)
+        if accumulated >= target or levels_left <= groups_left:
+            groups.append(current)
+            consumed_weight += accumulated
+            current = []
+            accumulated = 0
+    if current:
+        groups.append(current)
+
+    stage_of: dict[str, int] = {}
+    for stage_index, group in enumerate(groups):
+        for level in group:
+            for node in level:
+                stage_of[node.name] = stage_index
+
+    graphs: list[ComputationGraph] = []
+    boundaries: list[int] = []
+    for stage_index, group in enumerate(groups):
+        stage_graph = ComputationGraph(
+            graph.params, name=f"{graph.name}@stage{stage_index}"
+        )
+        boundary = 0
+        for level in group:
+            for node in level:
+                crosses = any(
+                    stage_of[dep] != stage_index for dep in node.depends_on
+                )
+                if crosses and stage_index > 0:
+                    boundary += node.ciphertexts
+                stage_graph.add_node(
+                    ComputationNode(
+                        name=node.name,
+                        kind=node.kind,
+                        ciphertexts=node.ciphertexts,
+                        operations_per_ciphertext=node.operations_per_ciphertext,
+                        depends_on=[
+                            dep
+                            for dep in node.depends_on
+                            if stage_of[dep] == stage_index
+                        ],
+                    )
+                )
+        graphs.append(stage_graph)
+        boundaries.append(boundary)
+    return StagePlan(graphs=graphs, boundary_ciphertexts=boundaries)

@@ -14,26 +14,47 @@ from many tenants.  This package is the layer in between::
   ``asyncio`` submission path (:meth:`Server.submit_async`);
 * :class:`StrixCluster` — N simulated Strix devices with round-robin /
   least-loaded / affinity sharding, aggregating per-device results into one
-  cluster-level :class:`~repro.runtime.result.RunResult`;
+  cluster-level :class:`~repro.runtime.result.RunResult`.  *Where* work
+  lands and *how long* it runs are pluggable through :mod:`repro.sched`:
+  placement layouts (``"data-parallel"`` / ``"pipeline"`` / ``"elastic"``)
+  and batch cost models (``"analytical"`` / ``"event"``);
 * :class:`AdaptiveBatcher` / :class:`RequestQueue` — epoch-sized coalescing
-  with bounded tail latency;
-* :mod:`repro.serve.metrics` — p50/p99 latency, throughput, queue depth and
-  device utilization summaries;
+  with bounded tail latency and an optional weighted-fair-queuing QoS
+  discipline (``qos="fair"``) so one flooding tenant cannot inflate every
+  tenant's p99;
+* :mod:`repro.serve.metrics` — p50/p99 latency (global and per tenant),
+  throughput, queue depth, device utilization and dispatch-cost breakdowns
+  (interconnect transfer, BSK/KSK key shipping);
 * the ``"strix-cluster"`` runtime backend, so ``run(workload,
-  backend="strix-cluster", devices=4)`` works from the PR 1 facade.
+  backend="strix-cluster", devices=4, layout="pipeline")`` works from the
+  PR 1 facade.
 
 Quickstart::
 
     from repro.serve import Server
     from repro.apps.traffic import steady_trace
 
-    server = Server(devices=4, policy="least-loaded")
+    server = Server(devices=4, policy="least-loaded", cost_model="event")
     report = server.simulate(
         steady_trace(rate_rps=2000, duration_s=0.5, seed=7), label="steady"
     )
     print(report.render())                 # p50/p99, PBS/s, device utilization
 """
 
+from repro.sched import (
+    AnalyticalCostModel,
+    CostModel,
+    DataParallelLayout,
+    Dispatch,
+    ElasticLayout,
+    EventDrivenCostModel,
+    PipelineLayout,
+    PlacementLayout,
+    get_cost_model,
+    get_layout,
+    list_cost_models,
+    list_layouts,
+)
 from repro.serve.backend import StrixClusterBackend
 from repro.serve.batcher import AdaptiveBatcher, Batch
 from repro.serve.cluster import (
@@ -63,12 +84,20 @@ from repro.serve.sharding import (
 __all__ = [
     "AdaptiveBatcher",
     "AffinityPolicy",
+    "AnalyticalCostModel",
     "Batch",
     "CLUSTER_BACKEND_NAME",
+    "CostModel",
+    "DataParallelLayout",
     "DeviceShardResult",
+    "Dispatch",
+    "ElasticLayout",
+    "EventDrivenCostModel",
     "LatencySummary",
     "LeastLoadedPolicy",
     "MetricsCollector",
+    "PipelineLayout",
+    "PlacementLayout",
     "Request",
     "RequestKind",
     "RequestOutcome",
@@ -83,7 +112,11 @@ __all__ = [
     "StrixClusterBackend",
     "StrixDevice",
     "TenantState",
+    "get_cost_model",
+    "get_layout",
     "get_policy",
+    "list_cost_models",
+    "list_layouts",
     "list_policies",
     "pbs_per_item",
     "percentile",

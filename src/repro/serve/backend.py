@@ -6,9 +6,12 @@ the PR 1 facade targets it transparently::
     from repro import run
 
     result = run("NN-20", backend="strix-cluster", devices=4)
+    deep = run("NN-100", backend="strix-cluster", devices=4, layout="pipeline")
 
-``devices`` / ``policy`` ride along as run options (every other backend
-ignores them), so the same call site scales from one chip to a rack.
+``devices`` / ``policy`` / ``layout`` / ``cost_model`` ride along as run
+options (every other backend ignores them), so the same call site scales
+from one chip to a rack and from data-parallel sharding to stage-per-device
+pipelining.
 """
 
 from __future__ import annotations
@@ -21,6 +24,8 @@ from repro.runtime.backend import Backend, register_backend
 from repro.runtime.result import RunResult
 from repro.runtime.session import Session
 from repro.runtime.workload import WorkloadLike
+from repro.sched.cost import CostModel
+from repro.sched.layouts import PlacementLayout
 from repro.serve.cluster import CLUSTER_BACKEND_NAME, StrixCluster
 from repro.serve.sharding import ShardingPolicy
 
@@ -36,9 +41,16 @@ class StrixClusterBackend(Backend):
         policy: str | ShardingPolicy = "round-robin",
         config: StrixClusterConfig | None = None,
         device_config: StrixConfig | None = None,
+        layout: str | PlacementLayout = "data-parallel",
+        cost_model: str | CostModel = "analytical",
     ):
         self.cluster = StrixCluster(
-            devices=devices, policy=policy, config=config, device_config=device_config
+            devices=devices,
+            policy=policy,
+            config=config,
+            device_config=device_config,
+            layout=layout,
+            cost_model=cost_model,
         )
 
     def run(
@@ -51,27 +63,39 @@ class StrixClusterBackend(Backend):
         instances: int = 1,
         devices: int | None = None,
         policy: str | ShardingPolicy | None = None,
+        layout: str | PlacementLayout | None = None,
+        cost_model: str | CostModel | None = None,
         **options: Any,
     ) -> RunResult:
         """Shard ``workload`` across the cluster's devices.
 
-        ``devices`` / ``policy`` given at the call site re-shape the cluster
-        for this run (the registry instantiates the backend with defaults, so
-        per-call overrides are how ``run(..., devices=4)`` works); ``inputs``
+        ``devices`` / ``policy`` / ``layout`` / ``cost_model`` given at the
+        call site re-shape the cluster for this run (the registry
+        instantiates the backend with defaults, so per-call overrides are
+        how ``run(..., devices=4, layout="pipeline")`` works); ``inputs``
         is ignored — the cluster is a performance model, use the
         ``"reference"`` backend for functional execution.
         """
         cluster = self.cluster
-        if (devices is not None and devices != len(cluster.devices)) or (
-            policy is not None
-        ):
+        reshaped = (
+            (devices is not None and devices != len(cluster.devices))
+            or policy is not None
+            or layout is not None
+            or cost_model is not None
+        )
+        if reshaped:
             resolved_devices = devices if devices is not None else len(cluster.devices)
             cluster = StrixCluster(
                 devices=resolved_devices,
-                # Pass the instance through (not its registry name) so custom
-                # ShardingPolicy objects survive per-call reshaping.
+                # Pass the instances through (not their registry names) so
+                # custom policy/layout/cost-model objects survive per-call
+                # reshaping.
                 policy=policy if policy is not None else cluster.policy,
                 config=cluster.config.with_devices(resolved_devices),
+                layout=layout if layout is not None else cluster.layout,
+                cost_model=(
+                    cost_model if cost_model is not None else cluster.cost_model
+                ),
             )
         return cluster.run(workload, params=params, instances=instances)
 

@@ -9,6 +9,20 @@ orders of magnitude smaller.  The batcher coalesces queued requests into
 * **deadline** — the oldest queued request has waited ``max_delay_s``, so
   tail latency stays bounded even under light load.
 
+*Which* requests fill a flushing batch is the QoS discipline:
+
+* ``"fifo"`` (default) — strict arrival order across tenants, exactly the
+  historical behaviour;
+* ``"fair"`` — weighted fair queuing over the per-tenant subqueues: each
+  tenant accrues virtual time proportional to the items it ships divided by
+  its weight, the batch takes the request with the earliest virtual finish
+  tag, and — because every request in a batch completes *together* — each
+  tenant's share of one batch is additionally capped at its
+  weight-proportional slice of the capacity (a request that would bust the
+  cap still ships, but in its own batch).  A tenant flooding large requests
+  then only delays *itself*: light tenants keep their slice of every batch
+  and their p99 stops inflating with someone else's backlog.
+
 A single request larger than the capacity is shipped alone as an oversized
 batch — the cluster already splits any batch into multiple epochs, so
 splitting one logical request across batches would only complicate
@@ -68,20 +82,44 @@ class Batch:
 class AdaptiveBatcher:
     """Flush-on-full / flush-on-deadline batching over a :class:`RequestQueue`."""
 
-    def __init__(self, capacity_items: int, max_delay_s: float):
+    def __init__(
+        self,
+        capacity_items: int,
+        max_delay_s: float,
+        qos: str = "fifo",
+        tenant_weights: dict[str, float] | None = None,
+    ):
         if capacity_items < 1:
             raise ValueError("batch capacity must be at least one item")
         if max_delay_s < 0:
             raise ValueError("max batch delay cannot be negative")
+        if qos not in ("fifo", "fair"):
+            raise ValueError(
+                f"unknown QoS discipline {qos!r}; choose 'fifo' or 'fair'"
+            )
+        weights = dict(tenant_weights or {})
+        if any(weight <= 0 for weight in weights.values()):
+            raise ValueError("tenant weights must be positive")
         self.capacity_items = capacity_items
         self.max_delay_s = max_delay_s
+        self.qos = qos
+        self.tenant_weights = weights
         self.batches_flushed = 0
         self.flush_reasons: dict[str, int] = {}
+        # Weighted-fair-queuing state: per-tenant virtual finish tags and the
+        # virtual clock (the start tag of the last dequeued request), which
+        # re-anchors tenants that went idle so they don't bank credit.
+        self._virtual_finish: dict[str, float] = {}
+        self._virtual_clock = 0.0
 
     # -- flush decisions ----------------------------------------------------------
 
     def next_deadline(self, queue: RequestQueue) -> float | None:
-        """Time at which the current queue head must flush, or ``None``."""
+        """Time at which the current queue head must flush, or ``None``.
+
+        The deadline always tracks the *globally* oldest request — fair
+        queuing reorders which requests fill a batch, not when one is owed.
+        """
         oldest = queue.oldest()
         if oldest is None:
             return None
@@ -110,16 +148,95 @@ class AdaptiveBatcher:
 
     # -- internals ----------------------------------------------------------------
 
+    def _weight(self, tenant: str) -> float:
+        return self.tenant_weights.get(tenant, 1.0)
+
+    def _tenant_caps(self, queue: RequestQueue) -> dict[str, int]:
+        """Items each tenant may occupy in the batch being assembled.
+
+        The weight-proportional slice of the capacity over the tenants
+        queued when the batch *starts* (frozen for the whole take, so
+        popping a tenant's last request does not hand its slice to the
+        flooder mid-batch).  With a lone tenant the cap degenerates to the
+        full capacity, so fair mode never slows an uncontended queue down.
+        """
+        tenants = list(queue.tenant_depths)
+        total_weight = sum(self._weight(name) for name in tenants)
+        if total_weight <= 0:
+            return {}
+        return {
+            tenant: max(
+                1,
+                int(self.capacity_items * self._weight(tenant) / total_weight),
+            )
+            for tenant in tenants
+        }
+
+    def _select_tenant(
+        self,
+        queue: RequestQueue,
+        in_batch: dict[str, int],
+        caps: dict[str, int],
+    ) -> str | None:
+        """Tenant whose head request the next pop should take.
+
+        FIFO follows global arrival order.  Fair queuing picks the minimal
+        virtual finish tag ``max(tenant finish, virtual clock) + items /
+        weight`` among tenants whose head still fits their per-batch
+        admission cap — ties break on arrival order so equal-weight tenants
+        interleave deterministically.  ``None`` means no queued head is
+        admissible (the batch closes; capped requests ship in the next one).
+        """
+        if self.qos == "fifo":
+            oldest = queue.oldest()
+            assert oldest is not None
+            return oldest.tenant
+        heads = queue.tenant_heads()
+        admissible = [
+            tenant
+            for tenant, head in heads.items()
+            if not in_batch  # an empty batch admits anything (oversized ships alone)
+            or in_batch.get(tenant, 0) + head.items
+            <= caps.get(tenant, self.capacity_items)
+        ]
+        if not admissible:
+            return None
+
+        def finish_tag(tenant: str) -> tuple[float, float, int]:
+            head = heads[tenant]
+            start = max(self._virtual_finish.get(tenant, 0.0), self._virtual_clock)
+            return (
+                start + head.items / self._weight(tenant),
+                head.arrival_s,
+                head.request_id,
+            )
+
+        return min(admissible, key=finish_tag)
+
+    def _pop_from(self, queue: RequestQueue, tenant: str) -> Request:
+        request = queue.pop_for_tenant(tenant)
+        if self.qos == "fair":
+            start = max(self._virtual_finish.get(tenant, 0.0), self._virtual_clock)
+            self._virtual_clock = start
+            self._virtual_finish[tenant] = start + request.items / self._weight(tenant)
+        return request
+
     def _take(self, queue: RequestQueue, now: float, reason: str) -> Batch:
         """Pop requests for one batch: fill up to capacity, never split one."""
         taken: list[Request] = []
+        in_batch: dict[str, int] = {}
+        caps = self._tenant_caps(queue) if self.qos == "fair" else {}
         items = 0
         while queue:
-            head = queue.oldest()
+            tenant = self._select_tenant(queue, in_batch, caps)
+            if tenant is None:
+                break
+            head = queue.oldest_for_tenant(tenant)
             assert head is not None
             if taken and items + head.items > self.capacity_items:
                 break
-            taken.append(queue.pop())
+            taken.append(self._pop_from(queue, tenant))
+            in_batch[tenant] = in_batch.get(tenant, 0) + head.items
             items += head.items
             if items >= self.capacity_items:
                 break

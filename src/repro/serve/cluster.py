@@ -2,22 +2,27 @@
 
 One Strix chip saturates at ``TvLP × core-batch`` ciphertexts per epoch; the
 serving tier the ROADMAP asks for needs more.  :class:`StrixCluster` models
-``N`` identical chips behind one host with two execution paths:
+``N`` identical chips behind one host.  *Where* work lands is delegated to a
+pluggable :class:`~repro.sched.layouts.PlacementLayout` (data-parallel /
+pipeline / elastic) and *how long* a serving batch occupies its device to a
+pluggable :class:`~repro.sched.cost.CostModel` (closed-form analytical or
+event-driven on the cycle-level scheduler); both paths share the
+:class:`~repro.arch.interconnect.InterconnectModel` for ciphertext and
+BSK/KSK key-shipping traffic:
 
-* :meth:`run` — data-parallel sharding of one large workload: every node of
-  the computation graph is split across the devices by the sharding policy,
-  each device schedules its shard on its own cycle-level simulator, and the
-  per-device :class:`~repro.sim.scheduler.ScheduleResult`s aggregate into a
-  cluster-level :class:`~repro.runtime.result.RunResult` (latency = slowest
-  device + dispatch overhead, with a straggler breakdown in the details).
-* :meth:`dispatch` — the serving path: a flushed :class:`Batch` is shipped
-  whole to one device (chosen by the policy) and occupies it for the batch's
-  epoch-stream time; per-device busy horizons are the load signal the
-  least-loaded policy reads.
+* :meth:`run` — one large workload across the devices: the layout shards it
+  (data-parallel: per-node ciphertext splits; pipeline: stage-per-device)
+  and aggregates per-device schedules into a cluster-level
+  :class:`~repro.runtime.result.RunResult`.
+* :meth:`dispatch` — the serving path: a flushed :class:`Batch` executes
+  where the layout places it and occupies those devices for the cost
+  model's service time; per-device busy horizons are the load signal the
+  least-loaded policy (and the elastic layout's autoscaler) read.
 
-With one device and the default (zero) dispatch overhead the sharded path
-degenerates to the single-device simulator bit-for-bit, which is what ties
-cluster results back to the paper's numbers.
+With one device, the data-parallel layout, the analytical cost model and
+the default (zero) dispatch overhead the cluster degenerates to the
+single-device simulator bit-for-bit, which is what ties cluster results
+back to the paper's numbers.
 """
 
 from __future__ import annotations
@@ -27,20 +32,31 @@ from dataclasses import dataclass
 from repro.arch.accelerator import StrixAccelerator
 from repro.arch.config import StrixClusterConfig, StrixConfig
 from repro.arch.energy import EnergyModel
+from repro.arch.interconnect import InterconnectModel
 from repro.params import TFHEParameters
 from repro.runtime.result import RunResult
-from repro.runtime.workload import WorkloadLike, as_graph, as_netlist, resolve_params
+from repro.runtime.workload import WorkloadLike, resolve_params
+from repro.sched.cost import CostModel, get_cost_model
+from repro.sched.layouts import (
+    DeviceShardResult,
+    Dispatch,
+    PlacementLayout,
+    get_layout,
+)
 from repro.serve.batcher import Batch
 from repro.serve.sharding import ShardingPolicy, get_policy
-from repro.sim.compiler import Netlist, compile_netlist
-from repro.sim.graph import ComputationGraph, ComputationNode
 from repro.sim.scheduler import StrixScheduler
 
 #: Name under which the cluster registers in the runtime backend registry.
 CLUSTER_BACKEND_NAME = "strix-cluster"
 
-#: Bytes of one serialized LWE ciphertext (32-bit torus coefficients).
-_BYTES_PER_COEFFICIENT = 4
+__all__ = [
+    "CLUSTER_BACKEND_NAME",
+    "DeviceShardResult",
+    "StrixCluster",
+    "StrixDevice",
+    "resolve_cluster_params",
+]
 
 
 @dataclass
@@ -67,20 +83,11 @@ class StrixDevice:
         self.pbs = 0
 
 
-@dataclass(frozen=True)
-class DeviceShardResult:
-    """One device's contribution to a sharded workload run."""
-
-    device: int
-    latency_s: float
-    pbs: int
-    epochs: int
-    utilization: dict[str, float]
-    energy_j: float
-
-
 class StrixCluster:
-    """``N`` simulated Strix devices behind one sharding scheduler."""
+    """``N`` simulated Strix devices behind one placement layout."""
+
+    #: Runtime-registry name reported in cluster-level :class:`RunResult`\ s.
+    backend_name = CLUSTER_BACKEND_NAME
 
     def __init__(
         self,
@@ -88,6 +95,8 @@ class StrixCluster:
         policy: str | ShardingPolicy = "round-robin",
         config: StrixClusterConfig | None = None,
         device_config: StrixConfig | None = None,
+        layout: str | PlacementLayout = "data-parallel",
+        cost_model: str | CostModel = "analytical",
     ):
         if config is None:
             config = StrixClusterConfig(
@@ -104,6 +113,9 @@ class StrixCluster:
                 config = config.with_devices(devices)
         self.config = config
         self.policy = get_policy(policy)
+        self.layout = get_layout(layout)
+        self.cost_model = get_cost_model(cost_model)
+        self.interconnect = InterconnectModel(config)
         self.devices = [
             StrixDevice(
                 index=index,
@@ -138,165 +150,48 @@ class StrixCluster:
         params: TFHEParameters | str | None = None,
         instances: int = 1,
     ) -> RunResult:
-        """Execute one workload sharded across all devices.
+        """Execute one workload across all devices, placed by the layout.
 
-        Netlists replicated over ``instances`` shard at instance granularity
-        (each device compiles and schedules its share of independent
-        instances); everything else lowers to a computation graph whose
-        per-node ciphertexts are partitioned by the sharding policy.
+        Under the data-parallel (and elastic) layout, netlists replicated
+        over ``instances`` shard at instance granularity and everything
+        else lowers to a computation graph whose per-node ciphertexts are
+        partitioned by the sharding policy; the pipeline layout instead
+        cuts the graph's dependency levels into one stage per device.
         """
-        if isinstance(workload, Netlist) and instances > 1:
-            resolved = as_netlist(workload, params)
-            shards = self._shard_netlist(resolved, instances)
-            # compile_netlist names the full graph f"{name}-x{instances}";
-            # match it without compiling the whole replicated netlist again.
-            name = f"{resolved.name}-x{instances}"
-            workload_params = resolved.params
-        else:
-            full_graph = as_graph(workload, params, instances)
-            shards = self._shard_graph(full_graph)
-            name = full_graph.name
-            workload_params = full_graph.params
-        return self._run_shards(name, workload_params, shards)
-
-    def _shard_netlist(
-        self, netlist: Netlist, instances: int
-    ) -> list[ComputationGraph | None]:
-        shares = self.policy.partition(instances, len(self.devices))
-        return [
-            compile_netlist(netlist, share) if share > 0 else None
-            for share in shares
-        ]
-
-    def _shard_graph(self, graph: ComputationGraph) -> list[ComputationGraph | None]:
-        """Split every node's ciphertexts across the devices.
-
-        Zero-ciphertext nodes are kept in place (the epoch scheduler costs
-        them at zero), so the dependency structure never needs rewiring and
-        every device sees the same critical-path shape.
-        """
-        device_count = len(self.devices)
-        shards = [
-            ComputationGraph(graph.params, name=f"{graph.name}@dev{index}")
-            for index in range(device_count)
-        ]
-        totals = [0] * device_count
-        for node_index, node in enumerate(graph.nodes):
-            shares = self.policy.partition(
-                node.ciphertexts, device_count, offset=node_index
-            )
-            for device_index, share in enumerate(shares):
-                totals[device_index] += share
-                shards[device_index].add_node(
-                    ComputationNode(
-                        name=node.name,
-                        kind=node.kind,
-                        ciphertexts=share,
-                        operations_per_ciphertext=node.operations_per_ciphertext,
-                        depends_on=list(node.depends_on),
-                    )
-                )
-        return [
-            shard if total > 0 else None for shard, total in zip(shards, totals)
-        ]
-
-    def _run_shards(
-        self,
-        name: str,
-        params: TFHEParameters,
-        shards: list[ComputationGraph | None],
-    ) -> RunResult:
-        per_device: list[DeviceShardResult] = []
-        utilization: dict[str, float] = {}
-        for device, shard in zip(self.devices, shards):
-            if shard is None:
-                continue
-            schedule = device.scheduler.run(shard)
-            energy = device.energy_model.workload_energy_j(schedule.total_time_s)
-            per_device.append(
-                DeviceShardResult(
-                    device=device.index,
-                    latency_s=schedule.total_time_s,
-                    pbs=schedule.total_pbs,
-                    epochs=schedule.total_epochs,
-                    utilization=dict(schedule.core_utilization),
-                    energy_j=energy,
-                )
-            )
-            for core, value in schedule.core_utilization.items():
-                utilization[f"dev{device.index}/{core}"] = value
-
-        latencies = [entry.latency_s for entry in per_device]
-        slowest = max(latencies, default=0.0)
-        mean_latency = sum(latencies) / len(latencies) if latencies else 0.0
-        total_latency = slowest + self.config.dispatch_overhead_s
-        total_energy = sum(entry.energy_j for entry in per_device)
-        return RunResult(
-            workload=name,
-            backend=CLUSTER_BACKEND_NAME,
-            parameter_set=params.name,
-            latency_s=total_latency,
-            pbs_count=sum(entry.pbs for entry in per_device),
-            utilization=utilization,
-            energy_j=total_energy,
-            details={
-                "devices": len(self.devices),
-                "active_devices": len(per_device),
-                "policy": self.policy.name,
-                "epochs": sum(entry.epochs for entry in per_device),
-                "per_device": per_device,
-                "straggler": {
-                    "slowest_s": slowest,
-                    "mean_s": mean_latency,
-                    "straggler_s": slowest - mean_latency,
-                    "imbalance": slowest / mean_latency if mean_latency > 0 else 0.0,
-                },
-            },
-        )
+        return self.layout.run_workload(self, workload, params, instances)
 
     # -- serving path ------------------------------------------------------------
 
     def batch_service_s(self, batch: Batch, params: TFHEParameters) -> float:
         """Time one device needs to execute a serving batch.
 
-        Bootstraps stream through the device's epoch pipeline; PBS-free items
-        (encryption requests) only cost host-side linear work on the vector
-        pipeline; shipping the batch's ciphertexts to the device is charged
-        against the cluster interconnect.
+        The cost model prices the compute residency (bootstraps streaming
+        through the epoch pipeline, PBS-free encryption traffic on the
+        host-side vector pipeline); shipping the batch's ciphertexts to the
+        device is charged against the cluster interconnect.
         """
-        device = self.devices[0]
-        config = device.accelerator.config
-        pbs_s = device.accelerator.pbs_batch_time_ms(params, batch.total_pbs) / 1e3
-        linear_items = sum(
-            request.items for request in batch.requests if request.pbs_per_item == 0
-        )
-        linear_s = linear_items * params.n / StrixScheduler.linear_macs_per_second(config)
-        transfer_bytes = batch.total_items * (params.n + 1) * _BYTES_PER_COEFFICIENT
-        transfer_s = transfer_bytes / (self.config.interconnect_gbps * 1e9)
-        return pbs_s + linear_s + transfer_s + self.config.dispatch_overhead_s
+        cost = self.cost_model.batch_cost(batch, params, self.devices[0])
+        transfer_s = self.interconnect.ciphertext_transfer_s(params, batch.total_items)
+        return cost.compute_s + transfer_s + self.config.dispatch_overhead_s
 
-    def dispatch(
-        self, batch: Batch, now: float, params: TFHEParameters
-    ) -> tuple[int, float, float]:
-        """Ship a batch to one device; returns ``(device, start_s, end_s)``."""
-        busy_until = [device.busy_until for device in self.devices]
-        index = self.policy.select(busy_until, batch)
-        device = self.devices[index]
-        start = max(now, device.busy_until)
-        service = self.batch_service_s(batch, params)
-        end = start + service
-        device.busy_until = end
-        device.busy_s += service
-        device.batches += 1
-        device.pbs += batch.total_pbs
-        return index, start, end
+    def dispatch(self, batch: Batch, now: float, params: TFHEParameters) -> Dispatch:
+        """Execute a batch where the layout places it.
+
+        Returns a :class:`~repro.sched.layouts.Dispatch` (iterable as the
+        historical ``(device, start_s, end_s)`` triple) carrying the cost
+        breakdown — transfer, dispatch overhead, key shipping, per-stage
+        detail under the pipeline layout.
+        """
+        return self.layout.dispatch(self, batch, now, params)
 
     def reset_serving_state(self) -> None:
-        """Clear every device's busy horizon and counters (and policy state),
-        so repeated simulations on one cluster are deterministic."""
+        """Clear every device's busy horizon and counters (and policy and
+        layout state), so repeated simulations on one cluster are
+        deterministic."""
         for device in self.devices:
             device.reset_serving_state()
         self.policy.reset()
+        self.layout.reset()
 
     def device_utilization(self, horizon_s: float) -> dict[str, float]:
         """Busy fraction of every device over a serving horizon."""

@@ -9,7 +9,7 @@ one :class:`ServeMetrics` snapshot (renderable, JSON-serializable).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -76,6 +76,14 @@ class ServeMetrics:
     flush_reasons: dict[str, int]
     peak_queue_depth: int
     device_utilization: dict[str, float]
+    #: Per-tenant latency distributions (the QoS split: a flooding tenant's
+    #: p99 should inflate without dragging everyone else's along).
+    tenant_latency: dict[str, LatencySummary] = field(default_factory=dict)
+    #: Accumulated dispatch-cost components over the run: ``*_s`` keys are
+    #: summed seconds (transfer, key shipping, dispatch overhead...), other
+    #: keys report their peak (e.g. ``active_devices`` under the elastic
+    #: layout).
+    cost_breakdown: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable snapshot (what ``BENCH_serve.json`` records)."""
@@ -92,6 +100,11 @@ class ServeMetrics:
             "flush_reasons": dict(self.flush_reasons),
             "peak_queue_depth": self.peak_queue_depth,
             "device_utilization": dict(self.device_utilization),
+            "tenant_latency": {
+                tenant: summary.to_dict()
+                for tenant, summary in sorted(self.tenant_latency.items())
+            },
+            "cost_breakdown": dict(self.cost_breakdown),
         }
 
     def render(self) -> str:
@@ -100,19 +113,34 @@ class ServeMetrics:
             f"{device}={fraction:.0%}"
             for device, fraction in sorted(self.device_utilization.items())
         )
-        return "\n".join(
-            [
-                f"requests: {self.requests:,} in {self.batches:,} batches "
-                f"({self.mean_batch_fill:.0%} mean fill, flushes: {self.flush_reasons})",
-                f"latency:  p50 {self.latency.p50_s * 1e3:.3f} ms, "
-                f"p99 {self.latency.p99_s * 1e3:.3f} ms, "
-                f"max {self.latency.max_s * 1e3:.3f} ms",
-                f"rate:     {self.requests_per_s:,.0f} req/s, "
-                f"{self.pbs_per_s:,.0f} PBS/s over {self.horizon_s * 1e3:.1f} ms",
-                f"devices:  {utilization}",
-                f"queue:    peak depth {self.peak_queue_depth}",
-            ]
-        )
+        lines = [
+            f"requests: {self.requests:,} in {self.batches:,} batches "
+            f"({self.mean_batch_fill:.0%} mean fill, flushes: {self.flush_reasons})",
+            f"latency:  p50 {self.latency.p50_s * 1e3:.3f} ms, "
+            f"p99 {self.latency.p99_s * 1e3:.3f} ms, "
+            f"max {self.latency.max_s * 1e3:.3f} ms",
+            f"rate:     {self.requests_per_s:,.0f} req/s, "
+            f"{self.pbs_per_s:,.0f} PBS/s over {self.horizon_s * 1e3:.1f} ms",
+            f"devices:  {utilization}",
+            f"queue:    peak depth {self.peak_queue_depth}",
+        ]
+        if self.tenant_latency:
+            split = ", ".join(
+                f"{tenant} p99 {summary.p99_s * 1e3:.3f} ms"
+                for tenant, summary in sorted(self.tenant_latency.items())
+            )
+            lines.append(f"tenants:  {split}")
+        costs = {
+            key: value
+            for key, value in sorted(self.cost_breakdown.items())
+            if key.endswith("_s") and value > 0
+        }
+        if costs:
+            rendered = ", ".join(
+                f"{key[:-2]} {value * 1e3:.3f} ms" for key, value in costs.items()
+            )
+            lines.append(f"costs:    {rendered}")
+        return "\n".join(lines)
 
 
 class MetricsCollector:
@@ -124,13 +152,31 @@ class MetricsCollector:
         self._batch_fills: list[float] = []
         self._total_pbs = 0
         self._batches = 0
+        self._cost_breakdown: dict[str, float] = {}
 
-    def record_batch(self, batch: Batch, outcomes: list[RequestOutcome]) -> None:
-        """Record one dispatched batch and its per-request outcomes."""
+    def record_batch(
+        self,
+        batch: Batch,
+        outcomes: list[RequestOutcome],
+        breakdown: dict[str, float] | None = None,
+    ) -> None:
+        """Record one dispatched batch, its outcomes and its cost breakdown.
+
+        ``*_s`` breakdown components accumulate (seconds of transfer, key
+        shipping, dispatch overhead across the run); any other component
+        keeps its peak (e.g. the elastic layout's ``active_devices``).
+        """
         self._batches += 1
         self._total_pbs += batch.total_pbs
         self._batch_fills.append(batch.fill_fraction(self.batch_capacity))
         self.outcomes.extend(outcomes)
+        for key, value in (breakdown or {}).items():
+            if key.endswith("_s"):
+                self._cost_breakdown[key] = self._cost_breakdown.get(key, 0.0) + value
+            else:
+                self._cost_breakdown[key] = max(
+                    self._cost_breakdown.get(key, value), value
+                )
 
     def summarize(
         self,
@@ -143,6 +189,11 @@ class MetricsCollector:
         latencies = [outcome.latency_s for outcome in self.outcomes]
         delays = [outcome.queue_delay_s for outcome in self.outcomes]
         effective_horizon = horizon_s if horizon_s > 0 else 0.0
+        per_tenant: dict[str, list[float]] = {}
+        for outcome in self.outcomes:
+            per_tenant.setdefault(outcome.request.tenant, []).append(
+                outcome.latency_s
+            )
         return ServeMetrics(
             horizon_s=effective_horizon,
             requests=len(self.outcomes),
@@ -164,4 +215,9 @@ class MetricsCollector:
             flush_reasons=dict(flush_reasons),
             peak_queue_depth=peak_queue_depth,
             device_utilization=dict(device_utilization),
+            tenant_latency={
+                tenant: LatencySummary.from_samples(samples)
+                for tenant, samples in per_tenant.items()
+            },
+            cost_breakdown=dict(self._cost_breakdown),
         )

@@ -1,10 +1,13 @@
-"""FIFO request queue with per-tenant accounting and depth tracking.
+"""Request queue with per-tenant subqueues and depth tracking.
 
 The queue sits between the submission paths (sync and async) and the
-adaptive batcher.  It is deliberately simple — arrival order is preserved
-across tenants so no tenant can starve another — but it keeps the counters
-the metrics layer and the batcher's flush decisions need: instantaneous and
-peak depth, queued items/PBS, and per-tenant composition.
+adaptive batcher.  Requests live in per-tenant FIFO subqueues stitched
+together by a global arrival sequence, so the batcher can either drain in
+strict arrival order (FIFO — the default, starvation-free) or pick the
+next request *per tenant* (weighted fair queuing, where a flooding tenant
+no longer pushes everyone else's work back).  Either way the queue keeps
+the counters the metrics layer and the flush decisions need: instantaneous
+and peak depth, queued items/PBS, and per-tenant composition.
 """
 
 from __future__ import annotations
@@ -18,25 +21,28 @@ class RequestQueue:
     """Arrival-ordered queue of pending :class:`Request` objects."""
 
     def __init__(self) -> None:
-        self._pending: deque[Request] = deque()
+        #: Per-tenant FIFO of ``(sequence, request)``; arrival order across
+        #: tenants is recovered by comparing head sequence numbers.
+        self._by_tenant: dict[str, deque[tuple[int, Request]]] = {}
+        self._sequence = 0
+        self._depth = 0
         self.total_enqueued = 0
         self.peak_depth = 0
-        self._tenant_depths: dict[str, int] = {}
         self._queued_items = 0
         self._queued_pbs = 0
 
     # -- state ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._pending)
+        return self._depth
 
     def __bool__(self) -> bool:
-        return bool(self._pending)
+        return self._depth > 0
 
     @property
     def depth(self) -> int:
         """Requests currently waiting."""
-        return len(self._pending)
+        return self._depth
 
     @property
     def queued_items(self) -> int:
@@ -51,29 +57,79 @@ class RequestQueue:
     @property
     def tenant_depths(self) -> dict[str, int]:
         """Waiting request count per tenant (zero entries omitted)."""
-        return {tenant: n for tenant, n in self._tenant_depths.items() if n > 0}
+        return {
+            tenant: len(pending)
+            for tenant, pending in self._by_tenant.items()
+            if pending
+        }
 
     def oldest(self) -> Request | None:
         """The longest-waiting request, or ``None`` when empty."""
-        return self._pending[0] if self._pending else None
+        head = self._oldest_tenant()
+        if head is None:
+            return None
+        return self._by_tenant[head][0][1]
+
+    def oldest_for_tenant(self, tenant: str) -> Request | None:
+        """The longest-waiting request of one tenant, or ``None``."""
+        pending = self._by_tenant.get(tenant)
+        if not pending:
+            return None
+        return pending[0][1]
+
+    def tenant_heads(self) -> dict[str, Request]:
+        """Each tenant's longest-waiting request (what fair queuing scans)."""
+        return {
+            tenant: pending[0][1]
+            for tenant, pending in self._by_tenant.items()
+            if pending
+        }
+
+    def _oldest_tenant(self) -> str | None:
+        """Tenant whose head request arrived first (``None`` when empty)."""
+        best: str | None = None
+        best_sequence = -1
+        for tenant, pending in self._by_tenant.items():
+            if not pending:
+                continue
+            sequence = pending[0][0]
+            if best is None or sequence < best_sequence:
+                best = tenant
+                best_sequence = sequence
+        return best
 
     # -- mutation ---------------------------------------------------------------
 
     def push(self, request: Request) -> None:
-        """Enqueue a request (arrival order is the only order)."""
-        self._pending.append(request)
-        self.total_enqueued += 1
-        self.peak_depth = max(self.peak_depth, len(self._pending))
-        self._tenant_depths[request.tenant] = (
-            self._tenant_depths.get(request.tenant, 0) + 1
+        """Enqueue a request (arrival order within and across tenants)."""
+        self._by_tenant.setdefault(request.tenant, deque()).append(
+            (self._sequence, request)
         )
+        self._sequence += 1
+        self._depth += 1
+        self.total_enqueued += 1
+        self.peak_depth = max(self.peak_depth, self._depth)
         self._queued_items += request.items
         self._queued_pbs += request.total_pbs
 
     def pop(self) -> Request:
-        """Dequeue the oldest request."""
-        request = self._pending.popleft()
-        self._tenant_depths[request.tenant] -= 1
+        """Dequeue the oldest request across all tenants."""
+        tenant = self._oldest_tenant()
+        if tenant is None:
+            raise IndexError("pop from an empty request queue")
+        return self._pop_head(tenant)
+
+    def pop_for_tenant(self, tenant: str) -> Request:
+        """Dequeue one tenant's oldest request (the fair-queuing pop)."""
+        if not self._by_tenant.get(tenant):
+            raise KeyError(f"tenant {tenant!r} has no queued requests")
+        return self._pop_head(tenant)
+
+    def _pop_head(self, tenant: str) -> Request:
+        _, request = self._by_tenant[tenant].popleft()
+        if not self._by_tenant[tenant]:
+            del self._by_tenant[tenant]
+        self._depth -= 1
         self._queued_items -= request.items
         self._queued_pbs -= request.total_pbs
         return request

@@ -32,6 +32,8 @@ from repro.params import TFHEParameters
 from repro.runtime.result import RunResult
 from repro.runtime.session import Session
 from repro.runtime.workload import WorkloadLike
+from repro.sched.cost import CostModel
+from repro.sched.layouts import PlacementLayout
 from repro.serve.batcher import AdaptiveBatcher, Batch
 from repro.serve.cluster import StrixCluster, resolve_cluster_params
 from repro.serve.metrics import MetricsCollector, ServeMetrics
@@ -53,6 +55,20 @@ class ServeConfig:
     policy:
         Sharding policy name (``"round-robin"`` / ``"least-loaded"`` /
         ``"affinity"``) or instance.
+    layout:
+        Placement layout name (``"data-parallel"`` / ``"pipeline"`` /
+        ``"elastic"``) or :class:`~repro.sched.layouts.PlacementLayout`
+        instance — where batches and sharded workloads land on the cluster.
+    cost_model:
+        Batch cost model name (``"analytical"`` / ``"event"``) or
+        :class:`~repro.sched.cost.CostModel` instance — ``"event"`` runs
+        the cycle-level scheduler on every batch's real graph, so keyswitch
+        overlap and epoch fragmentation show up in serving latency.
+    qos:
+        Batching discipline: ``"fifo"`` (arrival order, historical) or
+        ``"fair"`` (weighted fair queuing over tenants).
+    tenant_weights:
+        Relative QoS weights for ``"fair"`` (default weight 1.0).
     max_batch_delay_s:
         Deadline bound of the adaptive batcher — the longest a request waits
         before a partial batch flushes (the p99 knob under light load).
@@ -70,6 +86,10 @@ class ServeConfig:
     params: TFHEParameters | str = "I"
     devices: int = 4
     policy: str | ShardingPolicy = "least-loaded"
+    layout: str | PlacementLayout = "data-parallel"
+    cost_model: str | CostModel = "analytical"
+    qos: str = "fifo"
+    tenant_weights: dict[str, float] | None = None
     max_batch_delay_s: float = 2e-3
     batch_capacity: int | None = None
     seed: int = 0
@@ -96,6 +116,8 @@ class ServeReport:
     devices: int
     policy: str
     metrics: ServeMetrics
+    layout: str = "data-parallel"
+    cost_model: str = "analytical"
     outcomes: list[RequestOutcome] = field(repr=False, default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
@@ -105,6 +127,8 @@ class ServeReport:
             "parameter_set": self.parameter_set,
             "devices": self.devices,
             "policy": self.policy,
+            "layout": self.layout,
+            "cost_model": self.cost_model,
             **self.metrics.to_dict(),
         }
 
@@ -112,7 +136,8 @@ class ServeReport:
         """Human-readable summary."""
         header = (
             f"[{self.label}] params {self.parameter_set}, "
-            f"{self.devices} device(s), policy {self.policy}"
+            f"{self.devices} device(s), policy {self.policy}, "
+            f"layout {self.layout}, cost model {self.cost_model}"
         )
         return header + "\n" + self.metrics.render()
 
@@ -130,6 +155,8 @@ class Server:
             devices=None if config.cluster is not None else config.devices,
             policy=config.policy,
             config=config.cluster,
+            layout=config.layout,
+            cost_model=config.cost_model,
         )
         self.batch_capacity = (
             config.batch_capacity
@@ -137,7 +164,7 @@ class Server:
             else self.cluster.device_epoch_capacity(self.params)
         )
         self.queue = RequestQueue()
-        self.batcher = AdaptiveBatcher(self.batch_capacity, config.max_batch_delay_s)
+        self.batcher = self._make_batcher()
         self._tenants: dict[str, TenantState] = {}
         self._request_counter = 0
         self._clock = 0.0
@@ -150,6 +177,15 @@ class Server:
         self._flusher: asyncio.Task | None = None
         #: Metrics of the last completed async context (set by :meth:`aclose`).
         self.last_async_report: ServeReport | None = None
+
+    def _make_batcher(self) -> AdaptiveBatcher:
+        """A fresh batcher honouring the configured QoS discipline."""
+        return AdaptiveBatcher(
+            self.batch_capacity,
+            self.config.max_batch_delay_s,
+            qos=self.config.qos,
+            tenant_weights=self.config.tenant_weights,
+        )
 
     # -- tenants -----------------------------------------------------------------
 
@@ -246,7 +282,7 @@ class Server:
         self.queue = RequestQueue()
 
         self.cluster.reset_serving_state()
-        self.batcher = AdaptiveBatcher(self.batch_capacity, self.config.max_batch_delay_s)
+        self.batcher = self._make_batcher()
         metrics = MetricsCollector(self.batch_capacity)
         last_completion = 0.0
         last_arrival = pending[-1].arrival_s if pending else 0.0
@@ -275,6 +311,8 @@ class Server:
             parameter_set=self.params.name,
             devices=len(self.cluster),
             policy=self.cluster.policy.name,
+            layout=self.cluster.layout.name,
+            cost_model=self.cluster.cost_model.name,
             metrics=summary,
             outcomes=list(metrics.outcomes),
         )
@@ -291,22 +329,22 @@ class Server:
 
     def _dispatch(self, batch: Batch, metrics: MetricsCollector) -> float:
         """Send one batch to the cluster and record its outcomes."""
-        device, start, end = self.cluster.dispatch(batch, batch.created_s, self.params)
+        dispatch = self.cluster.dispatch(batch, batch.created_s, self.params)
         for request in batch.requests:
             self._account(request)
         outcomes = [
             RequestOutcome(
                 request=request,
                 batch_id=batch.batch_id,
-                device=device,
-                dispatched_s=start,
-                completed_s=end,
+                device=dispatch.device,
+                dispatched_s=dispatch.start_s,
+                completed_s=dispatch.end_s,
             )
             for request in batch.requests
         ]
-        metrics.record_batch(batch, outcomes)
+        metrics.record_batch(batch, outcomes, dispatch.breakdown)
         self._resolve_futures(outcomes)
-        return end
+        return dispatch.end_s
 
     # -- sharded one-shot execution ---------------------------------------------------
 
@@ -345,7 +383,7 @@ class Server:
         # Fresh queue/batcher so the async report's flush and depth stats
         # are not polluted by earlier simulations on this server.
         self.queue = RequestQueue()
-        self.batcher = AdaptiveBatcher(self.batch_capacity, self.config.max_batch_delay_s)
+        self.batcher = self._make_batcher()
         self.cluster.reset_serving_state()
         self._flusher = loop.create_task(self._flush_loop())
         return self
@@ -431,6 +469,8 @@ class Server:
                     parameter_set=self.params.name,
                     devices=len(self.cluster),
                     policy=self.cluster.policy.name,
+                    layout=self.cluster.layout.name,
+                    cost_model=self.cluster.cost_model.name,
                     metrics=metrics.summarize(
                         horizon_s=horizon,
                         flush_reasons=self.batcher.flush_reasons,

@@ -19,6 +19,7 @@ from __future__ import annotations
 import abc
 import zlib
 
+from repro.errors import UnknownPolicyError
 from repro.serve.batcher import Batch
 
 
@@ -124,12 +125,16 @@ def list_policies() -> list[str]:
 
 
 def get_policy(policy: str | ShardingPolicy) -> ShardingPolicy:
-    """Resolve a policy name (or pass an instance through)."""
+    """Resolve a policy name (or pass an instance through).
+
+    Raises :class:`~repro.errors.UnknownPolicyError` for unknown names —
+    the shared did-you-mean shape (registered names listed, picklable,
+    plain-sentence rendering), still a ``ValueError`` for historical
+    callers.
+    """
     if isinstance(policy, ShardingPolicy):
         return policy
     try:
         return _POLICIES[policy]()
     except KeyError:
-        raise ValueError(
-            f"unknown sharding policy {policy!r}; available policies: {list_policies()}"
-        ) from None
+        raise UnknownPolicyError(policy, list_policies()) from None

@@ -11,7 +11,7 @@ batching opportunity Strix's epoch scheduler exploits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.params import TFHEParameters
@@ -240,10 +240,9 @@ def full_adder_netlist(params: TFHEParameters, bits: int) -> Netlist:
         b = netlist.add_input(f"b{bit}")
         axb = netlist.add_gate("xor", f"axb{bit}", a, b)
         if carry is None:
-            total = axb
             carry = netlist.add_gate("and", f"c{bit}", a, b)
         else:
-            total = netlist.add_gate("xor", f"s{bit}", axb, carry)
+            netlist.add_gate("xor", f"s{bit}", axb, carry)
             overflow_ab = netlist.add_gate("and", f"cab{bit}", a, b)
             overflow_axb = netlist.add_gate("and", f"caxb{bit}", axb, carry)
             carry = netlist.add_gate("or", f"c{bit}", overflow_ab, overflow_axb)

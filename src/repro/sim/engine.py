@@ -11,7 +11,7 @@ produce the Gantt-style traces used by the Fig. 8 reproduction.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.events import Event, TimelineEntry
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-import numpy as np
 
 from repro.params import TFHEParameters
 from repro.tfhe.blind_rotate import (

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.params import TFHEParameters
 from repro.tfhe.bootstrap import bootstrap_to_sign

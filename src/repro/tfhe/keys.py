@@ -13,7 +13,7 @@ the secret keys and builds the two large evaluation keys:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

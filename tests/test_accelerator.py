@@ -6,7 +6,7 @@ import pytest
 
 from repro.arch.accelerator import StrixAccelerator
 from repro.arch.config import STRIX_DEFAULT, STRIX_UNFOLDED
-from repro.params import PAPER_PARAMETER_SETS, PARAM_SET_I, PARAM_SET_II, PARAM_SET_IV
+from repro.params import PAPER_PARAMETER_SETS, PARAM_SET_I, PARAM_SET_IV
 
 
 class TestPbsMicrobenchmark:

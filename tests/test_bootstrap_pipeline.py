@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.params import TOY_PARAMETERS
-from repro.tfhe import encoding, torus
+from repro.tfhe import encoding
 from repro.tfhe.blind_rotate import (
     blind_rotate,
     blind_rotate_plaintext,
@@ -33,7 +33,9 @@ class TestTestVector:
 
     def test_plaintext_rotation_recovers_function(self):
         """For every message, rotating by the ideal phase yields f(m)."""
-        function = lambda m: (3 * m + 1) % P
+        def function(m):
+            return (3 * m + 1) % P
+
         tv = make_test_vector(function, PARAMS)
         for message in range(P):
             phase_2n = message * (2 * PARAMS.N) // (2 * P)
@@ -90,7 +92,9 @@ class TestModulusSwitch:
 class TestBlindRotation:
     def test_blind_rotate_extracts_function_value(self, toy_context):
         keys = toy_context.server_keys
-        function = lambda m: (m + 1) % P
+        def function(m):
+            return (m + 1) % P
+
         tv = make_test_vector(function, PARAMS)
         for message in range(P):
             ciphertext = toy_context.encrypt(message)

@@ -7,7 +7,7 @@ import pytest
 from repro.analysis.batch_sensitivity import batch_sensitivity_study
 from repro.analysis.energy_comparison import energy_comparison
 from repro.analysis.unrolling_ablation import unrolling_ablation
-from repro.params import PARAM_SET_I, PARAM_SET_IV
+from repro.params import PARAM_SET_I
 
 
 class TestBatchSensitivity:

@@ -85,7 +85,7 @@ class TestGates:
         b = toy_context.encrypt_boolean(False)
         c = toy_context.encrypt_boolean(True)
         result = gates.and_(gates.or_(a, b), gates.xor(b, c))
-        assert toy_context.decrypt_boolean(result) is ((True or False) and (False != True))
+        assert toy_context.decrypt_boolean(result) is ((True or False) and (False ^ True))
 
     def test_pbs_cost_table(self):
         assert GateBootstrapper.PBS_COST["not"] == 0

@@ -5,12 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.params import SMALL_PARAMETERS, TOY_PARAMETERS
+from repro.params import TOY_PARAMETERS
 from repro.tfhe import torus
 from repro.tfhe.ggsw import GgswCiphertext, cmux, external_product
 from repro.tfhe.glwe import GlweCiphertext
 from repro.tfhe.keys import (
-    BootstrappingKey,
     GlweSecretKey,
     KeySwitchingKey,
     LweSecretKey,
@@ -140,7 +139,6 @@ class TestEvaluationKeys:
         """CMux with bsk[i] selects according to the i-th LWE key bit."""
         bsk = toy_context.server_keys.bootstrapping_key
         glwe_key = toy_context.glwe_key
-        rng = np.random.default_rng(99)
         false_msg = torus.reduce(np.full(PARAMS.N, PARAMS.delta, dtype=np.int64), PARAMS.q)
         true_msg = torus.reduce(np.full(PARAMS.N, 3 * PARAMS.delta, dtype=np.int64), PARAMS.q)
         ct_false = GlweCiphertext.trivial(false_msg, PARAMS)

@@ -66,7 +66,6 @@ class TestClientServerFlow:
 class TestCrossParameterSets:
     def test_small_parameters_full_pipeline(self, small_context):
         """The k=2 parameter set exercises the multi-mask GLWE paths."""
-        keys = small_context.server_keys
         for message in range(SMALL_PARAMETERS.message_modulus):
             result = small_context.programmable_bootstrap(
                 small_context.encrypt(message), lambda m: (m + 2) % 4

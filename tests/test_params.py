@@ -13,7 +13,6 @@ from repro.params import (
     PARAM_SET_IV,
     SMALL_PARAMETERS,
     TOY_PARAMETERS,
-    TFHEParameters,
     get_parameters,
 )
 

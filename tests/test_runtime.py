@@ -96,7 +96,9 @@ def test_boolean_batch_roundtrip(session):
 def test_bootstrap_batch_matches_per_ciphertext_bootstraps(session):
     p = session.params.message_modulus
     messages = [0, 1, 1, 0]
-    function = lambda m: (m + 1) % p
+    def function(m):
+        return (m + 1) % p
+
     ciphertexts = session.encrypt_batch(messages)
     batched = session.bootstrap_batch(ciphertexts, function)
     looped = [

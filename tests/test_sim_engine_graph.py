@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.params import PARAM_SET_I, TOY_PARAMETERS
+from repro.params import TOY_PARAMETERS
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import Event, TimelineEntry
 from repro.sim.fragments import (

@@ -1,0 +1,139 @@
+"""Tests for :mod:`repro.apps.traffic`: determinism and statistical sanity.
+
+The serving benchmarks and the QoS work both lean on these generators, so
+two properties must hold rock-solid: a seed fully determines a trace (same
+requests, same order, same sizes, same tenants), and the statistical shape
+each generator promises — Poisson steadiness, on/off burstiness, heavy
+tails — actually shows up in the moments of what it emits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.traffic import (
+    TRAFFIC_PATTERNS,
+    bursty_trace,
+    heavy_tail_trace,
+    steady_trace,
+)
+from repro.serve.request import Request, RequestKind
+
+
+def fingerprint(trace: list[Request]) -> list[tuple]:
+    return [
+        (r.request_id, r.tenant, r.kind.value, r.items, r.arrival_s, r.model)
+        for r in trace
+    ]
+
+
+GENERATORS = {
+    "steady": lambda seed: steady_trace(rate_rps=2000.0, duration_s=0.5, seed=seed),
+    "bursty": lambda seed: bursty_trace(
+        burst_rate_rps=8000.0, duration_s=0.5, seed=seed
+    ),
+    "heavy-tail": lambda seed: heavy_tail_trace(
+        rate_rps=2000.0, duration_s=0.5, seed=seed
+    ),
+}
+
+
+# -- seeded determinism --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_same_seed_reproduces_the_exact_trace(name):
+    first = GENERATORS[name](seed=42)
+    second = GENERATORS[name](seed=42)
+    assert fingerprint(first) == fingerprint(second)
+    assert len(first) > 50
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_different_seeds_differ(name):
+    assert fingerprint(GENERATORS[name](seed=1)) != fingerprint(
+        GENERATORS[name](seed=2)
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_traces_are_well_formed(name):
+    trace = GENERATORS[name](seed=7)
+    arrivals = [r.arrival_s for r in trace]
+    assert arrivals == sorted(arrivals)
+    assert all(0.0 < t < 0.5 for t in arrivals)
+    assert all(r.items >= 1 for r in trace)
+    assert all(
+        (r.model is not None) == (r.kind is RequestKind.INFERENCE) for r in trace
+    )
+    # Request ids are unique and assigned in arrival order.
+    ids = [r.request_id for r in trace]
+    assert ids == sorted(set(ids))
+    # Several distinct tenants appear under the default mix.
+    assert len({r.tenant for r in trace}) >= 3
+
+
+def test_registry_names_the_three_patterns():
+    assert sorted(TRAFFIC_PATTERNS) == ["bursty", "heavy-tail", "steady"]
+    for name, generator in GENERATORS.items():
+        assert TRAFFIC_PATTERNS[name] is not None
+        assert generator(seed=0)  # every registry entry emits something
+
+
+# -- statistical sanity ---------------------------------------------------------------
+
+
+def test_steady_trace_rate_and_interarrival_moments():
+    """Poisson arrivals: mean gap ≈ 1/rate, CV of gaps ≈ 1."""
+    trace = steady_trace(rate_rps=5000.0, duration_s=2.0, seed=3)
+    gaps = np.diff([r.arrival_s for r in trace])
+    assert len(trace) == pytest.approx(10000, rel=0.1)
+    assert gaps.mean() == pytest.approx(1 / 5000.0, rel=0.1)
+    cv = gaps.std() / gaps.mean()
+    assert 0.8 < cv < 1.2  # exponential gaps: coefficient of variation 1
+
+
+def test_heavy_tail_interarrival_moments():
+    """Pareto gaps keep the requested mean rate but are far burstier."""
+    rate = 2000.0
+    trace = heavy_tail_trace(rate_rps=rate, duration_s=5.0, seed=5, pareto_shape=1.5)
+    gaps = np.diff([r.arrival_s for r in trace])
+    # The scale is chosen so the mean inter-arrival matches 1/rate.
+    assert gaps.mean() == pytest.approx(1 / rate, rel=0.25)
+    # Shape 1.5 has infinite variance: the empirical CV must far exceed the
+    # exponential baseline of 1, and the largest gap dwarfs the mean.
+    cv = gaps.std() / gaps.mean()
+    assert cv > 1.5
+    assert gaps.max() > 20 * gaps.mean()
+
+
+def test_heavy_tail_size_moments():
+    """Log-normal sizes: mean ≈ mean_items with a genuinely heavy tail."""
+    trace = heavy_tail_trace(
+        rate_rps=2000.0, duration_s=5.0, seed=11, mean_items=8.0, size_sigma=1.2
+    )
+    sizes = np.array(
+        [r.items for r in trace if r.kind is not RequestKind.INFERENCE], dtype=float
+    )
+    assert sizes.mean() == pytest.approx(8.0, rel=0.3)
+    assert sizes.max() > 10 * sizes.mean()  # a few huge requests exist
+    assert np.median(sizes) < sizes.mean()  # right-skewed distribution
+
+
+def test_bursty_trace_gaps_split_into_on_and_off_phases():
+    trace = bursty_trace(
+        burst_rate_rps=10000.0, duration_s=2.0, seed=9, burst_s=0.02, idle_s=0.08
+    )
+    gaps = np.diff([r.arrival_s for r in trace])
+    in_burst = gaps[gaps < 1e-3]
+    idle = gaps[gaps > 0.01]
+    # Most arrivals are within-burst, but real idle gaps punctuate them.
+    assert len(in_burst) > 10 * max(len(idle), 1)
+    assert len(idle) >= 5
+    assert idle.mean() > 50 * in_burst.mean()
+
+
+def test_pareto_shape_must_give_finite_mean():
+    with pytest.raises(ValueError, match="pareto shape"):
+        heavy_tail_trace(rate_rps=100.0, duration_s=1.0, pareto_shape=1.0)
