@@ -11,7 +11,13 @@ Writes ``BENCH_serve.json`` with two families of records:
   throughput, speedup, straggler imbalance);
 * ``layout/...`` — the scheduling-core seams: data-parallel vs pipeline vs
   elastic placement and the analytical vs event-driven cost model under one
-  heavy-tail trace (p99, key shipping, stage transfer).
+  heavy-tail trace (p99, key shipping, stage transfer);
+* ``keymem/...`` — key-memory budgets: one many-tenant trace served with
+  unbounded per-device key memory versus a two-tenant budget (evictions,
+  re-ships, shipping seconds, p99), with and without key-affinity dispatch;
+* ``plan_cache/...`` — the pipeline layout's stage-plan cache: event-model
+  pipeline serving on repeated batch shapes, cold versus warm wall clock
+  (timed records) plus the deterministic hit counters.
 
 Run it directly (``--smoke`` shrinks the traces for CI)::
 
@@ -28,7 +34,7 @@ ensure_repro_importable()
 
 from repro import run  # noqa: E402  (path bootstrap above)
 from repro.apps.traffic import bursty_trace, heavy_tail_trace, steady_trace  # noqa: E402
-from repro.serve import Server  # noqa: E402
+from repro.serve import Request, Server  # noqa: E402
 
 #: The Fig. 7 application workload the cluster scaling study runs.
 FIG7_WORKLOAD = "NN-20"
@@ -134,6 +140,103 @@ def bench_layouts_and_cost_models(
         print()
 
 
+def bench_key_memory(report: BenchReport, duration_s: float, seed: int) -> None:
+    """Key-memory budgets: tenant churn past the per-device HBM budget."""
+    trace = heavy_tail_trace(
+        rate_rps=1200.0, duration_s=duration_s, seed=seed, tenants=12
+    )
+    probe = Server(devices=4, params="I")
+    per_tenant = probe.cluster.interconnect.key_set_bytes(probe.params)
+    two_tenants = 2 * per_tenant + 1
+    variants = {
+        "unbounded": {},
+        "budget-2": {"key_budget_bytes": two_tenants},
+        "budget-2-affinity": {
+            "key_budget_bytes": two_tenants,
+            "policy": "key-affinity",
+        },
+    }
+    for label, options in variants.items():
+        policy = options.pop("policy", "least-loaded")
+        server = Server(devices=4, policy=policy, params="I", **options)
+        serve_report = server.simulate(list(trace), label=f"keymem-{label}")
+        metrics = serve_report.metrics
+        counters = metrics.key_cache
+        base = f"keymem/{label}"
+        report.add(f"{base}/p99_latency", metrics.latency.p99_s, "s")
+        report.add(
+            f"{base}/key_shipping",
+            metrics.cost_breakdown.get("key_shipping_s", 0.0),
+            "s",
+        )
+        report.add(f"{base}/evictions", counters["evictions"], "count")
+        report.add(f"{base}/reships", counters["reships"], "count")
+        report.add(
+            f"{base}/hit_rate",
+            counters["hits"] / max(counters["hits"] + counters["misses"], 1),
+            "fraction",
+        )
+        print(serve_report.render())
+        print()
+
+
+def bench_stage_plan_cache(
+    report: BenchReport, duration_s: float, seed: int
+) -> None:
+    """Event-priced pipeline serving: cold partitioning vs cached plans.
+
+    A uniform bootstrap trace repeats one batch shape, so every dispatch
+    after the first reuses the cached stage plan; the cold/warm wall-clock
+    pair is the dispatch-overhead reduction the cache buys (the serving
+    *model* outputs are identical by construction — the deterministic
+    p99/hit records prove it).
+    """
+    requests = max(int(2000 * duration_s), 64)
+    # Period-4 request pattern: three bootstrap bursts and one NN-20
+    # inference per period, so flushed batches repeat a handful of shapes
+    # and the inference graphs give the partitioner real multi-level work.
+    trace = [
+        Request.make(
+            i + 1,
+            f"tenant{i % 4}",
+            "inference" if i % 4 == 3 else "bootstrap",
+            1 if i % 4 == 3 else 8,
+            arrival_s=i * 5e-4,
+            model="NN-20" if i % 4 == 3 else None,
+        )
+        for i in range(requests)
+    ]
+    server = Server(
+        devices=4, params="I", layout="pipeline", cost_model="event", batch_capacity=32
+    )
+    cold_s = report.time(
+        "plan_cache/cold_simulate",
+        lambda: server.simulate(list(trace), label="plan-cold"),
+        repeats=1,
+    )
+    warm_report = server.simulate(list(trace), label="plan-warm")
+    warm_s = report.time(
+        "plan_cache/warm_simulate",
+        lambda: server.simulate(list(trace), label="plan-warm"),
+        repeats=3,
+    )
+    report.add(
+        "plan_cache/overhead_reduction",
+        cold_s / warm_s if warm_s > 0 else 1.0,
+        "x",
+        timed=True,
+    )
+    plans = warm_report.metrics.stage_plan_cache
+    report.add("plan_cache/warm_hits", plans["hits"], "count")
+    report.add("plan_cache/warm_misses", plans["misses"], "count")
+    report.add(
+        "plan_cache/p99_latency", warm_report.metrics.latency.p99_s, "s"
+    )
+    print(warm_report.render())
+    print(f"stage-plan cache: cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.1f} ms")
+    print()
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -151,6 +254,8 @@ def main() -> None:
     bench_serving_patterns(report, args.devices, duration_s, args.seed)
     bench_cluster_scaling(report)
     bench_layouts_and_cost_models(report, duration_s, args.seed)
+    bench_key_memory(report, duration_s, args.seed)
+    bench_stage_plan_cache(report, duration_s, args.seed)
     path = report.write(args.output)
     print(f"[saved {len(report.records)} records to {path}]")
 

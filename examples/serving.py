@@ -87,6 +87,38 @@ def scheduling_core() -> None:
     print()
 
 
+def key_memory() -> None:
+    """Key residency under a finite per-device HBM budget."""
+    print("== Key memory: eviction and re-shipping under an HBM budget ==\n")
+    trace = TRAFFIC_PATTERNS["heavy-tail"](
+        rate_rps=1200, duration_s=0.2, seed=7, tenants=12
+    )
+    probe = Server(devices=4, params="I")
+    per_tenant = probe.cluster.interconnect.key_set_bytes(probe.params)
+    print(f"one tenant's BSK+KSK set: {per_tenant / 1e6:.1f} MB")
+    variants = {
+        "unbounded": {},
+        "2 tenants/device": {"key_budget_bytes": 2 * per_tenant + 1},
+        "2 tenants + key-affinity": {
+            "key_budget_bytes": 2 * per_tenant + 1,
+            "policy": "key-affinity",
+        },
+    }
+    for label, options in variants.items():
+        policy = options.pop("policy", "least-loaded")
+        server = Server(devices=4, policy=policy, params="I", **options)
+        report = server.simulate(list(trace), label=label)
+        metrics = report.metrics
+        keys = metrics.key_cache
+        shipping = metrics.cost_breakdown.get("key_shipping_s", 0.0)
+        print(
+            f"{label:>26}: p99 {metrics.latency.p99_s * 1e3:7.3f} ms, "
+            f"shipping {shipping * 1e3:7.3f} ms, "
+            f"{keys['evictions']:4d} evictions, {keys['reships']:4d} re-ships"
+        )
+    print()
+
+
 async def async_submission() -> None:
     """The online path: awaitable per-request outcomes."""
     print("== Async submission: three tenants, one batcher ==\n")
@@ -109,6 +141,7 @@ def main() -> None:
     traffic_patterns()
     cluster_scaling()
     scheduling_core()
+    key_memory()
     asyncio.run(async_submission())
     print("Tenant key material stays per-tenant: Server.session_for(tenant)")
     print("derives a distinct Session (client/server keys) for every tenant.")

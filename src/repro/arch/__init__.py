@@ -20,6 +20,18 @@ from repro.arch.config import (
 from repro.arch.accelerator import StrixAccelerator, PbsPerformance
 from repro.arch.area_power import AreaPowerModel
 from repro.arch.interconnect import InterconnectModel
+from repro.arch.key_cache import (
+    DeviceKeyCache,
+    KeyCacheStats,
+    KeyEvictionPolicy,
+    KeyResidencyManager,
+    LFUEvictionPolicy,
+    LRUEvictionPolicy,
+    PinnedTenantPolicy,
+    get_key_policy,
+    hbm_key_budget_bytes,
+    list_key_policies,
+)
 
 __all__ = [
     "StrixConfig",
@@ -31,4 +43,14 @@ __all__ = [
     "PbsPerformance",
     "AreaPowerModel",
     "InterconnectModel",
+    "DeviceKeyCache",
+    "KeyCacheStats",
+    "KeyEvictionPolicy",
+    "KeyResidencyManager",
+    "LFUEvictionPolicy",
+    "LRUEvictionPolicy",
+    "PinnedTenantPolicy",
+    "get_key_policy",
+    "hbm_key_budget_bytes",
+    "list_key_policies",
 ]

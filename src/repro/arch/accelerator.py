@@ -88,7 +88,11 @@ class StrixAccelerator:
         bsk_bandwidth = (
             self.config.hbm_bandwidth_gbps
             * self.config.bsk_channels
-            / (self.config.bsk_channels + self.config.ksk_channels + self.config.ciphertext_channels)
+            / (
+                self.config.bsk_channels
+                + self.config.ksk_channels
+                + self.config.ciphertext_channels
+            )
         )
         fetch_seconds = fragment_bytes / (bsk_bandwidth * 1e9)
         fetch_cycles = math.ceil(fetch_seconds * self.config.clock_hz)

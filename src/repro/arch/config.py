@@ -40,6 +40,12 @@ class StrixConfig:
         Core clock in GHz.
     hbm_bandwidth_gbps:
         External memory bandwidth in GB/s (one HBM2e stack by default).
+    hbm_capacity_gb:
+        External memory *capacity* in GB (one 16 GB HBM2e stack by
+        default).  The serving tier derives per-device key-memory budgets
+        from it — every resident tenant pins one BSK + KSK set in HBM, so
+        capacity, not bandwidth, bounds how many tenants a device can hold
+        (see :mod:`repro.arch.key_cache`).
     global_scratchpad_mb / local_scratchpad_mb:
         On-chip memory capacities.
     local_scratchpad_pbs_fraction:
@@ -65,6 +71,7 @@ class StrixConfig:
     colp: int = 2
     clock_ghz: float = 1.2
     hbm_bandwidth_gbps: float = 300.0
+    hbm_capacity_gb: float = 16.0
     global_scratchpad_mb: float = 21.0
     local_scratchpad_mb: float = 0.625
     local_scratchpad_pbs_fraction: float = 0.8
@@ -83,7 +90,11 @@ class StrixConfig:
             raise ValueError("clock frequency must be positive")
         if self.hbm_bandwidth_gbps <= 0:
             raise ValueError("HBM bandwidth must be positive")
-        total_channels = self.bsk_channels + self.ksk_channels + self.ciphertext_channels
+        if self.hbm_capacity_gb <= 0:
+            raise ValueError("HBM capacity must be positive")
+        total_channels = (
+            self.bsk_channels + self.ksk_channels + self.ciphertext_channels
+        )
         if total_channels != 16:
             raise ValueError(
                 f"HBM channel allocation must total 16, got {total_channels}"
@@ -176,12 +187,27 @@ class StrixClusterConfig:
         Fixed host-side cost per sharded dispatch (scatter + gather).
         Defaults to zero so a one-device cluster reproduces the
         single-device simulator results bit-for-bit.
+    key_budget_bytes:
+        Per-device HBM budget for resident tenant key sets (BSK + KSK).
+        ``None`` (the default) models unbounded key memory — every device
+        keeps every tenant's keys forever, the pre-eviction behaviour that
+        keeps historical serving numbers bit-for-bit.  A finite budget makes
+        :class:`repro.arch.key_cache.KeyResidencyManager` evict under the
+        configured policy and charge BSK/KSK re-shipping on re-use; derive a
+        hardware-honest value with
+        :func:`repro.arch.key_cache.hbm_key_budget_bytes`.
+    key_policy:
+        Eviction-policy name for the per-device key caches (``"lru"`` /
+        ``"lfu"`` / ``"pinned"``).  Only consulted when ``key_budget_bytes``
+        is finite.
     """
 
     devices: int = 4
     device: StrixConfig = STRIX_DEFAULT
     interconnect_gbps: float = 64.0
     dispatch_overhead_s: float = 0.0
+    key_budget_bytes: float | None = None
+    key_policy: str = "lru"
 
     def __post_init__(self) -> None:
         if self.devices < 1:
@@ -190,6 +216,8 @@ class StrixClusterConfig:
             raise ValueError("interconnect bandwidth must be positive")
         if self.dispatch_overhead_s < 0:
             raise ValueError("dispatch overhead cannot be negative")
+        if self.key_budget_bytes is not None and self.key_budget_bytes <= 0:
+            raise ValueError("key-memory budget must be positive (or None)")
 
     @property
     def total_hscs(self) -> int:
@@ -199,6 +227,16 @@ class StrixClusterConfig:
     def with_devices(self, devices: int) -> "StrixClusterConfig":
         """Return a copy with a different device count."""
         return replace(self, devices=devices)
+
+    def with_key_budget(
+        self, key_budget_bytes: float | None, key_policy: str | None = None
+    ) -> "StrixClusterConfig":
+        """Return a copy with a different key-memory budget (and policy)."""
+        return replace(
+            self,
+            key_budget_bytes=key_budget_bytes,
+            key_policy=key_policy if key_policy is not None else self.key_policy,
+        )
 
 
 #: Default four-device serving cluster built from the paper's design point.

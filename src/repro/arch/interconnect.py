@@ -12,7 +12,8 @@ Three payload families matter to the serving layer:
   between pipeline stages in the stage-per-device layout);
 * **bootstrapping keys** — one GGSW per LWE-key bit, by far the largest
   payload; shipped when a tenant migrates to a device that does not hold
-  its keys;
+  its keys — or *re*-shipped when a finite key-memory budget evicted them
+  (see :mod:`repro.arch.key_cache`);
 * **keyswitching keys** — the second half of a tenant's server-key set,
   shipped together with the BSK on migration.
 
@@ -80,10 +81,12 @@ class InterconnectModel:
     def key_shipping_s(self, params: TFHEParameters) -> float:
         """Seconds to ship one tenant's BSK + KSK to a device.
 
-        Charged by the placement layouts when a tenant *migrates* — its
-        batches land on a device that does not hold its keys.  The initial
-        placement is free (keys are provisioned at tenant onboarding), which
-        keeps the one-device cluster bit-for-bit identical to the
-        single-device simulator.
+        Charged through :class:`~repro.arch.key_cache.KeyResidencyManager`
+        when a tenant *migrates* — its batches land on a device that does
+        not hold its keys — and again whenever a finite key-memory budget
+        evicted the set and the tenant returns.  The initial placement is
+        free (keys are provisioned at tenant onboarding), which keeps the
+        one-device cluster bit-for-bit identical to the single-device
+        simulator.
         """
         return self.transfer_s(self.key_set_bytes(params))

@@ -50,7 +50,7 @@ class LocalScratchpad:
 
     def __init__(self, config: StrixConfig):
         self.config = config
-        self.capacity_bytes = int(config.local_scratchpad_mb * 2 ** 20)
+        self.capacity_bytes = int(config.local_scratchpad_mb * 2**20)
         self.pbs_capacity_bytes = int(
             self.capacity_bytes * config.local_scratchpad_pbs_fraction
         )
@@ -70,7 +70,7 @@ class GlobalScratchpad:
 
     def __init__(self, config: StrixConfig):
         self.config = config
-        self.capacity_bytes = int(config.global_scratchpad_mb * 2 ** 20)
+        self.capacity_bytes = int(config.global_scratchpad_mb * 2**20)
 
     def bootstrapping_key_fragment_bytes(self, params: TFHEParameters) -> int:
         """Bytes of one GGSW (the bootstrapping-key share of one BR iteration)."""
@@ -130,7 +130,10 @@ class HBMModel:
         # iteration i runs; it is fetched once and multicast to every core.
         # The prefetch window is one *single-LWE* iteration so the design
         # stays compute bound even for the smallest batches.
-        bsk_rate = self.global_scratchpad.bootstrapping_key_fragment_bytes(params) / iteration_time_s
+        bsk_rate = (
+            self.global_scratchpad.bootstrapping_key_fragment_bytes(params)
+            / iteration_time_s
+        )
 
         # The keyswitching key streams once per epoch: every LWE of the epoch
         # reuses the same tile sequence while the keyswitch cluster works in

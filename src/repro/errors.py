@@ -70,3 +70,10 @@ class UnknownCostModelError(UnknownNameError):
     """Unknown cost-model name."""
 
     kind = "cost model"
+
+
+class UnknownKeyPolicyError(UnknownNameError):
+    """Unknown key-cache eviction-policy name."""
+
+    kind = "key-cache policy"
+    kind_plural = "key-cache policies"

@@ -43,8 +43,12 @@ def run(
         (``"NN-20"``).
     backend:
         Registry name (``"reference"``, ``"strix-sim"``, ``"cpu-analytical"``,
-        ``"gpu-analytical"``) or a :class:`Backend` instance for configured
-        backends (e.g. ``AnalyticalBackend("cpu", threads=48)``).
+        ``"gpu-analytical"``, ``"strix-cluster"``) or a :class:`Backend`
+        instance for configured backends (e.g.
+        ``AnalyticalBackend("cpu", threads=48)``).  Unknown names raise the
+        shared did-you-mean error
+        (:class:`~repro.errors.UnknownNameError`), listing every
+        registered backend.
     params:
         Parameter set (object or name) overriding the workload's own; netlists
         and graphs are rebound structurally, so the same circuit can be
@@ -59,7 +63,25 @@ def run(
         Netlist replication factor — the batching knob.
     options:
         Additional backend-specific keywords (e.g. ``outputs=`` for the
-        reference backend).
+        reference backend).  The ``"strix-cluster"`` backend understands
+        four cluster-shaping options, all string-registered with
+        did-you-mean errors:
+
+        * ``devices=N`` — number of simulated Strix chips (default 4);
+        * ``policy=`` — sharding policy: ``"round-robin"`` /
+          ``"least-loaded"`` / ``"affinity"`` / ``"key-affinity"``
+          (:mod:`repro.serve.sharding`);
+        * ``layout=`` — placement layout: ``"data-parallel"`` (per-node
+          ciphertext splits), ``"pipeline"`` (stage-per-device with
+          inter-stage transfers) or ``"elastic"`` (autoscaled active
+          subset) — see :mod:`repro.sched.layouts`;
+        * ``cost_model=`` — serving batch pricing: ``"analytical"``
+          (closed-form epoch stream) or ``"event"`` (cycle-level
+          scheduler on the batch's real graph) — see
+          :mod:`repro.sched.cost`.
+
+        ``run("NN-100", backend="strix-cluster", devices=4,
+        layout="pipeline")`` is the canonical multi-device call.
     """
     resolved = backend if isinstance(backend, Backend) else get_backend(backend)
     return resolved.run(

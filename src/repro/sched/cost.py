@@ -64,6 +64,48 @@ class BatchCost:
     breakdown: dict[str, float] = field(default_factory=dict)
 
 
+def _classify_requests(batch: "Batch") -> tuple[int, int, list]:
+    """One classification shared by the lowering and its cache signature.
+
+    Buckets the batch's requests exactly the way :func:`batch_graph`
+    coalesces them: total PBS-free items (→ one LINEAR node), total
+    fixed-cost PBS (→ one fused PBS+KS node), and the model-carrying
+    requests that each expand to a per-request layer subgraph.  Both
+    :func:`batch_graph` and :func:`batch_mix_signature` consume these
+    buckets, so the cache key cannot drift from the graph it stands for.
+    """
+    linear_items = 0
+    simple_pbs = 0
+    model_requests = []
+    for request in batch.requests:
+        if request.pbs_per_item == 0:
+            linear_items += request.items
+        elif request.model is None:
+            simple_pbs += request.total_pbs
+        else:
+            model_requests.append(request)
+    return linear_items, simple_pbs, model_requests
+
+
+def batch_mix_signature(batch: "Batch") -> tuple:
+    """Canonical request-mix signature of a serving batch.
+
+    Two batches with equal signatures lower (via :func:`batch_graph`) to
+    structurally identical computation graphs — identical node kinds,
+    ciphertext counts, per-ciphertext operations and dependencies — because
+    both functions bucket requests through the same
+    :func:`_classify_requests`.  Request ids, tenants and arrival times
+    deliberately do not appear: they never influence the graph shape, so
+    the pipeline layout's stage-plan cache can key on this signature and
+    reuse one partition across every batch of the same shape.
+    """
+    linear_items, simple_pbs, model_requests = _classify_requests(batch)
+    models = tuple(
+        sorted((request.model, request.items) for request in model_requests)
+    )
+    return (linear_items, simple_pbs, models)
+
+
 def batch_graph(batch: "Batch", params: TFHEParameters) -> ComputationGraph:
     """Lower a serving batch to the computation graph it really executes.
 
@@ -75,22 +117,13 @@ def batch_graph(batch: "Batch", params: TFHEParameters) -> ComputationGraph:
     layer dependencies are exactly what limits batching and produces the
     fragmentation/keyswitch effects the event-driven model exists to see.
     """
+    linear_items, simple_pbs, model_requests = _classify_requests(batch)
     graph = ComputationGraph(params, name=f"batch-{batch.batch_id}")
-    linear_items = sum(
-        request.items for request in batch.requests if request.pbs_per_item == 0
-    )
     if linear_items:
         graph.add_linear_layer("linear", linear_items, params.n)
-    simple_pbs = sum(
-        request.total_pbs
-        for request in batch.requests
-        if request.pbs_per_item > 0 and request.model is None
-    )
     if simple_pbs:
         graph.add_pbs_layer("pbs", simple_pbs)
-    for request in batch.requests:
-        if request.model is None or request.pbs_per_item == 0:
-            continue
+    for request in model_requests:
         from repro.apps.deep_nn import ZAMA_DEEP_NN_MODELS, build_deep_nn_graph
 
         model_graph = build_deep_nn_graph(ZAMA_DEEP_NN_MODELS[request.model], params)

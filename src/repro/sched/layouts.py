@@ -27,11 +27,19 @@ Three layouts ship:
   freshly provisioned devices are not instantly useful) and shrinks when
   the fleet has been idle.
 
-Every layout charges BSK/KSK **key shipping** through the shared
-:class:`~repro.arch.interconnect.InterconnectModel` when a tenant's batch
+Every layout charges BSK/KSK **key shipping** through the cluster's
+:class:`~repro.arch.key_cache.KeyResidencyManager` when a tenant's batch
 lands on a device that does not hold its keys.  The *first* placement is
 free (keys are provisioned at onboarding), so single-device clusters — and
-tenant-sticky policies — never pay it.
+tenant-sticky policies — never pay it; under a finite per-device key-memory
+budget the manager additionally evicts cold tenants and charges the
+re-shipping when they return.
+
+The pipeline layout also keeps a **stage-plan cache**: partitioning a
+batch's graph into stages depends only on the batch's request-mix
+signature (see :func:`repro.sched.cost.batch_mix_signature`), so repeated
+batch shapes — the common case under steady traffic — reuse the cut
+instead of re-lowering and re-partitioning the graph on every dispatch.
 """
 
 from __future__ import annotations
@@ -99,14 +107,17 @@ class DeviceShardResult:
 
 
 class PlacementLayout(abc.ABC):
-    """Strategy for placing serving batches and one-shot workloads."""
+    """Strategy for placing serving batches and one-shot workloads.
+
+    Subclasses implement :meth:`dispatch` (the serving path) and
+    :meth:`run_workload` (the one-shot path).  Key residency is *not* layout
+    state: every layout funnels its dispatch targets through the cluster's
+    :class:`~repro.arch.key_cache.KeyResidencyManager`, so budgets, eviction
+    and the hit/miss counters behave identically under every layout.
+    """
 
     #: Registry name of the layout.
     name = ""
-
-    def __init__(self) -> None:
-        #: Devices currently holding each tenant's BSK/KSK set.
-        self._tenant_homes: dict[str, frozenset[int]] = {}
 
     @abc.abstractmethod
     def dispatch(
@@ -129,8 +140,12 @@ class PlacementLayout(abc.ABC):
         """Execute one large workload across the cluster."""
 
     def reset(self) -> None:
-        """Clear placement state between simulations."""
-        self._tenant_homes.clear()
+        """Clear placement state between simulations (default: stateless)."""
+
+    @property
+    def plan_cache_stats(self) -> dict[str, int]:
+        """Stage-plan cache counters (empty for layouts that don't plan)."""
+        return {}
 
     # -- key residency -----------------------------------------------------------
 
@@ -143,26 +158,15 @@ class PlacementLayout(abc.ABC):
     ) -> float:
         """Seconds of BSK/KSK shipping this dispatch triggers.
 
-        A device that ever received a tenant's keys keeps them (eviction
-        under an HBM key-memory budget is not modelled — see the ROADMAP),
-        so landing on a device outside the tenant's accumulated home set
-        ships one full key set per missing device, once.  The first
-        placement is free — onboarding provisions keys — which keeps
-        one-device clusters bit-for-bit with the single-device simulator.
+        Delegates to the cluster's
+        :class:`~repro.arch.key_cache.KeyResidencyManager`: the first
+        placement of a tenant is free (onboarding provisions keys, which
+        keeps one-device clusters bit-for-bit with the single-device
+        simulator), every later landing on a device that lacks the keys
+        ships one full BSK/KSK set over the interconnect, and a finite
+        per-device budget triggers eviction and paid re-shipping.
         """
-        target = frozenset(targets)
-        per_key_s = cluster.interconnect.key_shipping_s(params)
-        shipping = 0.0
-        for tenant in sorted(batch.tenants):
-            homes = self._tenant_homes.get(tenant)
-            if homes is None:
-                self._tenant_homes[tenant] = target
-                continue
-            missing = target - homes
-            if missing:
-                shipping += len(missing) * per_key_s
-                self._tenant_homes[tenant] = homes | target
-        return shipping
+        return cluster.key_residency.place(batch.tenants, targets, params)
 
     def _dispatch_to_device(
         self,
@@ -354,7 +358,10 @@ class DataParallelLayout(PlacementLayout):
         params: TFHEParameters,
     ) -> Dispatch:
         busy_until = [device.busy_until for device in cluster.devices]
-        index = cluster.policy.select(busy_until, batch)
+        resident = cluster.key_residency.resident_flags(
+            batch.requests[0].tenant, range(len(cluster.devices))
+        )
+        index = cluster.policy.select(busy_until, batch, resident=resident)
         return self._dispatch_to_device(
             cluster, batch, now, params, index, cluster.devices[index].busy_until
         )
@@ -376,9 +383,62 @@ class PipelineLayout(PlacementLayout):
     per device, balanced by PBS weight); ciphertexts crossing each stage
     boundary are charged on the cluster interconnect, and every stage
     device must hold the batch's tenant keys.
+
+    Stage plans are cached per batch *shape*: lowering a batch to its graph
+    and cutting it into stages depends only on the request-mix signature
+    (coalesced linear items, coalesced simple PBS, the multiset of
+    inference models × samples), the device count and the parameter set —
+    not on request ids or arrival times — so steady traffic, which repeats
+    a handful of shapes, partitions each shape once instead of once per
+    batch.  The cache holds pure derived data and therefore survives
+    :meth:`reset` (only the hit/miss counters clear); it is bounded by
+    :attr:`plan_cache_capacity` with FIFO replacement.
     """
 
     name = "pipeline"
+
+    #: Cached stage plans kept before the oldest shape is dropped.
+    plan_cache_capacity = 256
+
+    def __init__(self) -> None:
+        self._plan_cache: dict[tuple, "StagePlan"] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+
+    def reset(self) -> None:
+        """Clear per-simulation counters (cached plans are pure and kept)."""
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+
+    @property
+    def plan_cache_stats(self) -> dict[str, int]:
+        """Hit/miss counters of this simulation plus resident plan count."""
+        return {
+            "hits": self.plan_cache_hits,
+            "misses": self.plan_cache_misses,
+            "entries": len(self._plan_cache),
+        }
+
+    def _stage_plan(
+        self, cluster: "StrixCluster", batch: "Batch", params: TFHEParameters
+    ) -> "StagePlan":
+        """The batch's stage plan, partitioned once per request-mix shape."""
+        from repro.sched.cost import batch_graph, batch_mix_signature
+
+        # Key on the params *object* (frozen, structurally hashed), not its
+        # name: replace(PARAM_SET_I, n=...) keeps the name but changes the
+        # graph the batch lowers to.
+        signature = (len(cluster.devices), params, batch_mix_signature(batch))
+        plan = self._plan_cache.get(signature)
+        if plan is not None:
+            self.plan_cache_hits += 1
+            return plan
+        self.plan_cache_misses += 1
+        plan = partition_graph_stages(batch_graph(batch, params), len(cluster.devices))
+        if len(self._plan_cache) >= self.plan_cache_capacity:
+            self._plan_cache.pop(next(iter(self._plan_cache)))
+        self._plan_cache[signature] = plan
+        return plan
 
     def dispatch(
         self,
@@ -387,9 +447,7 @@ class PipelineLayout(PlacementLayout):
         now: float,
         params: TFHEParameters,
     ) -> Dispatch:
-        from repro.sched.cost import batch_graph
-
-        plan = partition_graph_stages(batch_graph(batch, params), len(cluster.devices))
+        plan = self._stage_plan(cluster, batch, params)
         targets = tuple(range(len(plan.graphs)))
         shipping_s = self._key_shipping_s(cluster, batch, targets, params)
         input_transfer_s = cluster.interconnect.ciphertext_transfer_s(
@@ -614,7 +672,10 @@ class ElasticLayout(PlacementLayout):
     ) -> Dispatch:
         self._autoscale(cluster, now)
         busy = [self._effective_busy(cluster, index) for index in self._active]
-        index = self._active[cluster.policy.select(busy, batch)]
+        resident = cluster.key_residency.resident_flags(
+            batch.requests[0].tenant, self._active
+        )
+        index = self._active[cluster.policy.select(busy, batch, resident=resident)]
         return self._dispatch_to_device(
             cluster,
             batch,

@@ -13,11 +13,16 @@ from many tenants.  This package is the layer in between::
   synchronous trace-replay path (:meth:`Server.simulate`) and an
   ``asyncio`` submission path (:meth:`Server.submit_async`);
 * :class:`StrixCluster` — N simulated Strix devices with round-robin /
-  least-loaded / affinity sharding, aggregating per-device results into one
-  cluster-level :class:`~repro.runtime.result.RunResult`.  *Where* work
-  lands and *how long* it runs are pluggable through :mod:`repro.sched`:
-  placement layouts (``"data-parallel"`` / ``"pipeline"`` / ``"elastic"``)
-  and batch cost models (``"analytical"`` / ``"event"``);
+  least-loaded / affinity / key-affinity sharding, aggregating per-device
+  results into one cluster-level :class:`~repro.runtime.result.RunResult`.
+  *Where* work lands and *how long* it runs are pluggable through
+  :mod:`repro.sched`: placement layouts (``"data-parallel"`` /
+  ``"pipeline"`` / ``"elastic"``) and batch cost models (``"analytical"`` /
+  ``"event"``).  Each device's HBM holds a *bounded* number of tenant
+  BSK/KSK sets when ``key_budget_bytes`` is finite: the cluster's
+  :class:`~repro.arch.key_cache.KeyResidencyManager` evicts under a
+  pluggable policy (``"lru"`` / ``"lfu"`` / ``"pinned"``) and charges key
+  re-shipping on the interconnect;
 * :class:`AdaptiveBatcher` / :class:`RequestQueue` — epoch-sized coalescing
   with bounded tail latency and an optional weighted-fair-queuing QoS
   discipline (``qos="fair"``) so one flooding tenant cannot inflate every
@@ -74,6 +79,7 @@ from repro.serve.request import Request, RequestKind, RequestOutcome, pbs_per_it
 from repro.serve.server import Server, ServeConfig, ServeReport, TenantState
 from repro.serve.sharding import (
     AffinityPolicy,
+    KeyAffinityPolicy,
     LeastLoadedPolicy,
     RoundRobinPolicy,
     ShardingPolicy,
@@ -93,6 +99,7 @@ __all__ = [
     "Dispatch",
     "ElasticLayout",
     "EventDrivenCostModel",
+    "KeyAffinityPolicy",
     "LatencySummary",
     "LeastLoadedPolicy",
     "MetricsCollector",

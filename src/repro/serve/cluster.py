@@ -8,7 +8,10 @@ pipeline / elastic) and *how long* a serving batch occupies its device to a
 pluggable :class:`~repro.sched.cost.CostModel` (closed-form analytical or
 event-driven on the cycle-level scheduler); both paths share the
 :class:`~repro.arch.interconnect.InterconnectModel` for ciphertext and
-BSK/KSK key-shipping traffic:
+BSK/KSK key-shipping traffic, and every dispatch funnels its targets
+through the cluster's :class:`~repro.arch.key_cache.KeyResidencyManager`,
+which tracks which devices hold which tenants' keys and — under a finite
+``key_budget_bytes`` — evicts and charges re-shipping:
 
 * :meth:`run` — one large workload across the devices: the layout shards it
   (data-parallel: per-node ciphertext splits; pipeline: stage-per-device)
@@ -33,6 +36,7 @@ from repro.arch.accelerator import StrixAccelerator
 from repro.arch.config import StrixClusterConfig, StrixConfig
 from repro.arch.energy import EnergyModel
 from repro.arch.interconnect import InterconnectModel
+from repro.arch.key_cache import KeyEvictionPolicy, KeyResidencyManager
 from repro.params import TFHEParameters
 from repro.runtime.result import RunResult
 from repro.runtime.workload import WorkloadLike, resolve_params
@@ -97,7 +101,22 @@ class StrixCluster:
         device_config: StrixConfig | None = None,
         layout: str | PlacementLayout = "data-parallel",
         cost_model: str | CostModel = "analytical",
+        key_budget_bytes: float | None = None,
+        key_policy: "str | KeyEvictionPolicy | None" = None,
     ):
+        """Build ``N`` identical simulated devices behind one layout.
+
+        ``key_budget_bytes`` / ``key_policy`` override the cluster config's
+        key-memory knobs for this cluster; ``None`` means *unspecified*
+        (the config's value stands — build a config with
+        ``key_budget_bytes=None`` to model unbounded key memory
+        explicitly).  String policy names are folded back into
+        ``self.config`` so re-deriving a cluster from it reproduces the
+        policy; an explicit
+        :class:`~repro.arch.key_cache.KeyEvictionPolicy` instance — e.g. a
+        :class:`~repro.arch.key_cache.PinnedTenantPolicy` with a pinned
+        set — passes straight through to the residency manager instead.
+        """
         if config is None:
             config = StrixClusterConfig(
                 devices=devices if devices is not None else 4,
@@ -111,11 +130,24 @@ class StrixCluster:
                 )
             if devices is not None and devices != config.devices:
                 config = config.with_devices(devices)
+        if key_budget_bytes is not None or isinstance(key_policy, str):
+            config = config.with_key_budget(
+                key_budget_bytes
+                if key_budget_bytes is not None
+                else config.key_budget_bytes,
+                key_policy if isinstance(key_policy, str) else None,
+            )
         self.config = config
         self.policy = get_policy(policy)
         self.layout = get_layout(layout)
         self.cost_model = get_cost_model(cost_model)
         self.interconnect = InterconnectModel(config)
+        self.key_residency = KeyResidencyManager(
+            devices=config.devices,
+            interconnect=self.interconnect,
+            budget_bytes=config.key_budget_bytes,
+            policy=key_policy if key_policy is not None else config.key_policy,
+        )
         self.devices = [
             StrixDevice(
                 index=index,
@@ -185,13 +217,20 @@ class StrixCluster:
         return self.layout.dispatch(self, batch, now, params)
 
     def reset_serving_state(self) -> None:
-        """Clear every device's busy horizon and counters (and policy and
-        layout state), so repeated simulations on one cluster are
-        deterministic."""
+        """Clear every device's busy horizon and counters (and policy,
+        layout and key-residency state), so repeated simulations on one
+        cluster are deterministic."""
         for device in self.devices:
             device.reset_serving_state()
         self.policy.reset()
         self.layout.reset()
+        self.key_residency.reset()
+
+    @property
+    def key_cache_stats(self) -> dict[str, int]:
+        """Key-residency counters of the current simulation (see
+        :class:`~repro.arch.key_cache.KeyCacheStats`)."""
+        return self.key_residency.stats.to_dict()
 
     def device_utilization(self, horizon_s: float) -> dict[str, float]:
         """Busy fraction of every device over a serving horizon."""

@@ -84,6 +84,13 @@ class ServeMetrics:
     #: keys report their peak (e.g. ``active_devices`` under the elastic
     #: layout).
     cost_breakdown: dict[str, float] = field(default_factory=dict)
+    #: Key-residency counters (hits / misses / onboards / evictions /
+    #: reships / shipped_bytes) from the cluster's
+    #: :class:`~repro.arch.key_cache.KeyResidencyManager`.
+    key_cache: dict[str, int] = field(default_factory=dict)
+    #: Stage-plan cache counters (hits / misses / entries) when the layout
+    #: plans stages (the pipeline layout); empty otherwise.
+    stage_plan_cache: dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable snapshot (what ``BENCH_serve.json`` records)."""
@@ -105,6 +112,8 @@ class ServeMetrics:
                 for tenant, summary in sorted(self.tenant_latency.items())
             },
             "cost_breakdown": dict(self.cost_breakdown),
+            "key_cache": dict(self.key_cache),
+            "stage_plan_cache": dict(self.stage_plan_cache),
         }
 
     def render(self) -> str:
@@ -140,6 +149,20 @@ class ServeMetrics:
                 f"{key[:-2]} {value * 1e3:.3f} ms" for key, value in costs.items()
             )
             lines.append(f"costs:    {rendered}")
+        if any(self.key_cache.values()):
+            keys = self.key_cache
+            lines.append(
+                f"keys:     {keys.get('hits', 0)} hits, "
+                f"{keys.get('misses', 0)} misses, "
+                f"{keys.get('evictions', 0)} evictions, "
+                f"{keys.get('reships', 0)} re-ships"
+            )
+        if self.stage_plan_cache.get("hits") or self.stage_plan_cache.get("misses"):
+            plans = self.stage_plan_cache
+            lines.append(
+                f"plans:    {plans.get('hits', 0)} cache hits, "
+                f"{plans.get('misses', 0)} partitions"
+            )
         return "\n".join(lines)
 
 
@@ -184,8 +207,15 @@ class MetricsCollector:
         flush_reasons: dict[str, int],
         peak_queue_depth: int,
         device_utilization: dict[str, float],
+        key_cache: dict[str, int] | None = None,
+        stage_plan_cache: dict[str, int] | None = None,
     ) -> ServeMetrics:
-        """Fold the observations into one :class:`ServeMetrics`."""
+        """Fold the observations into one :class:`ServeMetrics`.
+
+        ``key_cache`` / ``stage_plan_cache`` are end-of-run counter
+        snapshots (read from the cluster's residency manager and the
+        layout) rather than accumulated per-batch observations.
+        """
         latencies = [outcome.latency_s for outcome in self.outcomes]
         delays = [outcome.queue_delay_s for outcome in self.outcomes]
         effective_horizon = horizon_s if horizon_s > 0 else 0.0
@@ -220,4 +250,6 @@ class MetricsCollector:
                 for tenant, samples in per_tenant.items()
             },
             cost_breakdown=dict(self._cost_breakdown),
+            key_cache=dict(key_cache or {}),
+            stage_plan_cache=dict(stage_plan_cache or {}),
         )

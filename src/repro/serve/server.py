@@ -28,6 +28,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Iterable
 
 from repro.arch.config import StrixClusterConfig
+from repro.arch.key_cache import KeyEvictionPolicy
 from repro.params import TFHEParameters
 from repro.runtime.result import RunResult
 from repro.runtime.session import Session
@@ -64,6 +65,20 @@ class ServeConfig:
         :class:`~repro.sched.cost.CostModel` instance — ``"event"`` runs
         the cycle-level scheduler on every batch's real graph, so keyswitch
         overlap and epoch fragmentation show up in serving latency.
+    key_budget_bytes:
+        Per-device HBM budget for resident tenant key sets; ``None``
+        (default) is unbounded — no eviction, the historical behaviour.
+        With a finite budget the cluster's
+        :class:`~repro.arch.key_cache.KeyResidencyManager` evicts under
+        ``key_policy`` and the report's ``key_cache`` counters fill in;
+        :func:`repro.arch.key_cache.hbm_key_budget_bytes` derives a
+        hardware-honest value from the device's HBM capacity.
+    key_policy:
+        Key-cache eviction policy name (``"lru"`` / ``"lfu"`` /
+        ``"pinned"``) or a
+        :class:`~repro.arch.key_cache.KeyEvictionPolicy` instance (e.g. a
+        pinned-tenant policy with an explicit pin set).  ``None`` defers to
+        the cluster config's policy (``"lru"`` by default).
     qos:
         Batching discipline: ``"fifo"`` (arrival order, historical) or
         ``"fair"`` (weighted fair queuing over tenants).
@@ -88,6 +103,8 @@ class ServeConfig:
     policy: str | ShardingPolicy = "least-loaded"
     layout: str | PlacementLayout = "data-parallel"
     cost_model: str | CostModel = "analytical"
+    key_budget_bytes: float | None = None
+    key_policy: "str | KeyEvictionPolicy | None" = None
     qos: str = "fifo"
     tenant_weights: dict[str, float] | None = None
     max_batch_delay_s: float = 2e-3
@@ -157,6 +174,8 @@ class Server:
             config=config.cluster,
             layout=config.layout,
             cost_model=config.cost_model,
+            key_budget_bytes=config.key_budget_bytes,
+            key_policy=config.key_policy,
         )
         self.batch_capacity = (
             config.batch_capacity
@@ -305,6 +324,8 @@ class Server:
             flush_reasons=self.batcher.flush_reasons,
             peak_queue_depth=self.queue.peak_depth,
             device_utilization=self.cluster.device_utilization(horizon),
+            key_cache=self.cluster.key_cache_stats,
+            stage_plan_cache=self.cluster.layout.plan_cache_stats,
         )
         return ServeReport(
             label=label,
@@ -476,6 +497,8 @@ class Server:
                         flush_reasons=self.batcher.flush_reasons,
                         peak_queue_depth=self.queue.peak_depth,
                         device_utilization=self.cluster.device_utilization(horizon),
+                        key_cache=self.cluster.key_cache_stats,
+                        stage_plan_cache=self.cluster.layout.plan_cache_stats,
                     ),
                     outcomes=list(metrics.outcomes),
                 )

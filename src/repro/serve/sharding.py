@@ -8,10 +8,18 @@ Two decisions are delegated to a policy:
 * :meth:`ShardingPolicy.select` — picking **one** device for a flushed
   serving batch (each batch is a single device's epoch stream).
 
-Three policies ship: ``round-robin`` (balanced splits, rotating dispatch),
+Four policies ship: ``round-robin`` (balanced splits, rotating dispatch),
 ``least-loaded`` (dispatch to the device that frees up first, partition by
-available headroom) and ``affinity`` (tenant-sticky dispatch so a tenant's
-bootstrapping keys stay resident on one device's HBM).
+available headroom), ``affinity`` (tenant-sticky dispatch so a tenant's
+bootstrapping keys stay resident on one device's HBM) and ``key-affinity``
+(dispatch to the least-loaded device *currently holding* the tenant's
+keys, read from the cluster's key-residency manager — the policy that
+stays cheap when a finite key-memory budget starts evicting).
+
+Dispatch decisions may consult key residency: the placement layout passes
+``select`` a ``resident`` mask — one flag per candidate device, true where
+the batch's lead tenant's BSK/KSK set is already resident — and policies
+are free to ignore it (all but ``key-affinity`` do).
 """
 
 from __future__ import annotations
@@ -48,8 +56,19 @@ class ShardingPolicy(abc.ABC):
         """Per-device item counts for sharding one workload (sums to ``items``)."""
 
     @abc.abstractmethod
-    def select(self, busy_until: list[float], batch: Batch) -> int:
-        """Device index that should execute a flushed serving batch."""
+    def select(
+        self,
+        busy_until: list[float],
+        batch: Batch,
+        resident: list[bool] | None = None,
+    ) -> int:
+        """Device index that should execute a flushed serving batch.
+
+        ``resident`` (when provided by the layout) flags, per candidate
+        device, whether the batch's lead tenant's keys are already resident
+        there; key-residency-aware policies prefer those devices to avoid
+        BSK/KSK shipping, all others ignore the mask.
+        """
 
     def reset(self) -> None:
         """Clear dispatch state between simulations (default: stateless)."""
@@ -66,7 +85,12 @@ class RoundRobinPolicy(ShardingPolicy):
     def partition(self, items: int, devices: int, *, offset: int = 0) -> list[int]:
         return _balanced_split(items, devices, offset)
 
-    def select(self, busy_until: list[float], batch: Batch) -> int:
+    def select(
+        self,
+        busy_until: list[float],
+        batch: Batch,
+        resident: list[bool] | None = None,
+    ) -> int:
         device = self._next % len(busy_until)
         self._next += 1
         return device
@@ -89,7 +113,12 @@ class LeastLoadedPolicy(ShardingPolicy):
     def partition(self, items: int, devices: int, *, offset: int = 0) -> list[int]:
         return _balanced_split(items, devices, offset)
 
-    def select(self, busy_until: list[float], batch: Batch) -> int:
+    def select(
+        self,
+        busy_until: list[float],
+        batch: Batch,
+        resident: list[bool] | None = None,
+    ) -> int:
         return min(range(len(busy_until)), key=busy_until.__getitem__)
 
 
@@ -108,14 +137,55 @@ class AffinityPolicy(ShardingPolicy):
     def partition(self, items: int, devices: int, *, offset: int = 0) -> list[int]:
         return _balanced_split(items, devices, offset)
 
-    def select(self, busy_until: list[float], batch: Batch) -> int:
+    def select(
+        self,
+        busy_until: list[float],
+        batch: Batch,
+        resident: list[bool] | None = None,
+    ) -> int:
         tenant = batch.requests[0].tenant
         return zlib.crc32(tenant.encode()) % len(busy_until)
 
 
+class KeyAffinityPolicy(ShardingPolicy):
+    """Prefer devices where the tenant's keys are already resident.
+
+    The residency-aware refinement of ``affinity``: instead of a static
+    tenant→device hash, dispatch follows the *actual* key placement the
+    cluster's :class:`~repro.arch.key_cache.KeyResidencyManager` tracks —
+    the least-loaded device among those already holding the lead tenant's
+    BSK/KSK set.  When no device holds them (first placement, or the budget
+    evicted them everywhere) it falls back to plain least-loaded, pays the
+    one ship, and subsequent batches stick to that device.  Under a finite
+    key-memory budget this is the policy that keeps hit rates high without
+    hard-pinning tenants the way the hash policy does.
+    """
+
+    name = "key-affinity"
+
+    def partition(self, items: int, devices: int, *, offset: int = 0) -> list[int]:
+        return _balanced_split(items, devices, offset)
+
+    def select(
+        self,
+        busy_until: list[float],
+        batch: Batch,
+        resident: list[bool] | None = None,
+    ) -> int:
+        candidates = range(len(busy_until))
+        if resident is not None and any(resident):
+            candidates = [index for index in candidates if resident[index]]
+        return min(candidates, key=busy_until.__getitem__)
+
+
 _POLICIES: dict[str, type[ShardingPolicy]] = {
     policy.name: policy
-    for policy in (RoundRobinPolicy, LeastLoadedPolicy, AffinityPolicy)
+    for policy in (
+        RoundRobinPolicy,
+        LeastLoadedPolicy,
+        AffinityPolicy,
+        KeyAffinityPolicy,
+    )
 }
 
 

@@ -1,0 +1,404 @@
+"""Tests for key residency under a per-device HBM budget + stage-plan cache.
+
+Covers the eviction policies (LRU / LFU / pinned) and their registry, the
+budget-enforcement and re-shipping arithmetic of the residency manager, the
+compatibility contract (unbounded budget — and a budget large enough for
+every key set — stay bit-for-bit with the pre-eviction serving numbers),
+the key-affinity sharding policy, and the pipeline layout's stage-plan
+cache keyed on the batch request-mix signature.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import run
+from repro.arch.config import StrixClusterConfig
+from repro.arch.key_cache import (
+    KeyResidencyManager,
+    LRUEvictionPolicy,
+    PinnedTenantPolicy,
+    get_key_policy,
+    hbm_key_budget_bytes,
+    list_key_policies,
+)
+from repro.errors import UnknownKeyPolicyError, UnknownNameError
+from repro.params import PARAM_SET_I
+from repro.sched import batch_mix_signature, partition_graph_stages
+from repro.sched.cost import batch_graph
+from repro.serve import Request, Server, StrixCluster
+from repro.serve.batcher import Batch
+from repro.sim.graph import ComputationGraph
+
+
+def make_batch(requests, batch_id=0, created_s=0.0):
+    return Batch(
+        batch_id=batch_id,
+        requests=tuple(requests),
+        created_s=created_s,
+        flush_reason="full",
+    )
+
+
+def bootstrap_batch(items=8, tenant="t0", batch_id=0, request_id=1):
+    return make_batch(
+        [Request.make(request_id, tenant, "bootstrap", items)], batch_id=batch_id
+    )
+
+
+def key_set_bytes(cluster):
+    return cluster.interconnect.key_set_bytes(PARAM_SET_I)
+
+
+def budget_for(cluster, key_sets):
+    """A per-device budget holding exactly ``key_sets`` params-I key sets."""
+    return key_sets * key_set_bytes(cluster) + 1
+
+
+# -- policy registry ----------------------------------------------------------------
+
+
+def test_key_policy_registry():
+    assert list_key_policies() == ["lfu", "lru", "pinned"]
+    assert isinstance(get_key_policy("lru"), LRUEvictionPolicy)
+    instance = PinnedTenantPolicy(pinned={"vip"})
+    assert get_key_policy(instance) is instance
+
+
+def test_unknown_key_policy_shares_did_you_mean_shape():
+    with pytest.raises(UnknownKeyPolicyError) as excinfo:
+        get_key_policy("lrru")
+    error = excinfo.value
+    assert isinstance(error, UnknownNameError)
+    message = str(error)
+    assert "unknown key-cache policy 'lrru'" in message
+    assert "did you mean 'lru'?" in message
+    assert str(pickle.loads(pickle.dumps(error))) == message
+
+
+def test_hbm_key_budget_derivation():
+    config = StrixClusterConfig()
+    half = hbm_key_budget_bytes(config.device)
+    assert half == int(config.device.hbm_capacity_gb * 1e9 * 0.5)
+    assert hbm_key_budget_bytes(config.device, fraction=1.0) == 2 * half
+    with pytest.raises(ValueError, match="fraction"):
+        hbm_key_budget_bytes(config.device, fraction=0.0)
+    # A 16 GB stack holds a few hundred ~22.5 MB key sets, not millions.
+    per_tenant = StrixCluster(devices=1).interconnect.key_set_bytes(PARAM_SET_I)
+    assert 100 < half // per_tenant < 1000
+
+
+def test_cluster_config_validates_key_budget():
+    with pytest.raises(ValueError, match="key-memory budget"):
+        StrixClusterConfig(key_budget_bytes=0)
+    tight = StrixClusterConfig().with_key_budget(1024, key_policy="lfu")
+    assert tight.key_budget_bytes == 1024
+    assert tight.key_policy == "lfu"
+
+
+# -- eviction policies over the residency manager ------------------------------------
+
+
+def manager(cluster, key_sets, policy="lru"):
+    return KeyResidencyManager(
+        devices=len(cluster.devices),
+        interconnect=cluster.interconnect,
+        budget_bytes=budget_for(cluster, key_sets),
+        policy=policy,
+    )
+
+
+def test_lru_evicts_least_recently_used():
+    cluster = StrixCluster(devices=1)
+    residency = manager(cluster, key_sets=2, policy="lru")
+    residency.place(["a"], (0,), PARAM_SET_I)
+    residency.place(["b"], (0,), PARAM_SET_I)
+    residency.place(["a"], (0,), PARAM_SET_I)  # refresh a: b is now coldest
+    residency.place(["c"], (0,), PARAM_SET_I)
+    assert residency.resident_devices("a") == frozenset({0})
+    assert residency.resident_devices("b") == frozenset()
+    assert residency.resident_devices("c") == frozenset({0})
+    assert residency.stats.evictions == 1
+
+
+def test_lfu_evicts_least_frequent():
+    cluster = StrixCluster(devices=1)
+    residency = manager(cluster, key_sets=2, policy="lfu")
+    residency.place(["a"], (0,), PARAM_SET_I)
+    residency.place(["b"], (0,), PARAM_SET_I)
+    for _ in range(3):
+        residency.place(["a"], (0,), PARAM_SET_I)
+    residency.place(["b"], (0,), PARAM_SET_I)  # a used 4x, b used 2x
+    residency.place(["c"], (0,), PARAM_SET_I)
+    assert residency.resident_devices("a") == frozenset({0})
+    assert residency.resident_devices("b") == frozenset()
+
+
+def test_pinned_tenants_survive_churn():
+    cluster = StrixCluster(devices=1)
+    residency = KeyResidencyManager(
+        devices=1,
+        interconnect=cluster.interconnect,
+        budget_bytes=budget_for(cluster, 2),
+        policy=PinnedTenantPolicy(pinned={"vip"}),
+    )
+    residency.place(["vip"], (0,), PARAM_SET_I)
+    for tenant in ("a", "b", "c", "d"):
+        residency.place([tenant], (0,), PARAM_SET_I)
+        assert residency.resident_devices("vip") == frozenset({0})
+    assert residency.stats.evictions == 3  # a, b, c evicted; vip never
+
+
+def test_all_protected_overcommits_instead_of_thrashing():
+    cluster = StrixCluster(devices=1)
+    residency = manager(cluster, key_sets=1, policy="lru")
+    # One batch carries two tenants: both are protected during placement,
+    # so the device overcommits rather than evicting a key it just shipped.
+    residency.place(["a", "b"], (0,), PARAM_SET_I)
+    assert residency.resident_devices("a") == frozenset({0})
+    assert residency.resident_devices("b") == frozenset({0})
+    assert residency.devices[0].over_budget
+    # The next single-tenant placement brings the device back under budget.
+    residency.place(["c"], (0,), PARAM_SET_I)
+    assert not residency.devices[0].over_budget
+
+
+def test_eviction_triggers_paid_reshipping():
+    params = PARAM_SET_I
+    cluster = StrixCluster(devices=1, key_budget_bytes=budget_for_single(1))
+    per_ship = cluster.interconnect.key_shipping_s(params)
+    first = cluster.dispatch(bootstrap_batch(tenant="a"), 0.0, params)
+    assert first.breakdown["key_shipping_s"] == 0.0  # onboarding is free
+    second = cluster.dispatch(bootstrap_batch(tenant="b", batch_id=1), 0.0, params)
+    assert second.breakdown["key_shipping_s"] == 0.0  # onboarding evicts a
+    third = cluster.dispatch(bootstrap_batch(tenant="a", batch_id=2), 0.0, params)
+    # a's keys were evicted: returning costs one full BSK/KSK re-ship.
+    assert third.breakdown["key_shipping_s"] == pytest.approx(per_ship)
+    stats = cluster.key_cache_stats
+    assert stats["evictions"] >= 2
+    assert stats["reships"] == 1
+    assert stats["shipped_bytes"] == cluster.interconnect.key_set_bytes(params)
+
+
+def budget_for_single(key_sets):
+    return key_sets * StrixCluster(devices=1).interconnect.key_set_bytes(
+        PARAM_SET_I
+    ) + 1
+
+
+# -- serving-level churn -------------------------------------------------------------
+
+
+def churn_trace(tenants, rounds, items=8):
+    requests = []
+    request_id = 0
+    for round_index in range(rounds):
+        for tenant_index in range(tenants):
+            request_id += 1
+            requests.append(
+                Request.make(
+                    request_id,
+                    f"tenant{tenant_index}",
+                    "bootstrap",
+                    items,
+                    arrival_s=request_id * 1e-3,
+                )
+            )
+    return requests
+
+
+def test_tenant_churn_past_budget_surfaces_counters_in_report():
+    server = Server(
+        devices=2,
+        policy="round-robin",
+        params="I",
+        key_budget_bytes=budget_for_single(2),
+        batch_capacity=8,
+    )
+    report = server.simulate(churn_trace(tenants=6, rounds=4), label="churn")
+    counters = report.metrics.key_cache
+    assert counters["evictions"] > 0
+    assert counters["reships"] > 0
+    assert counters["misses"] >= counters["reships"]
+    assert report.metrics.cost_breakdown["key_shipping_s"] > 0.0
+    assert report.to_dict()["key_cache"] == counters
+    assert "evictions" in report.render()
+
+
+def test_unbounded_budget_never_evicts():
+    server = Server(devices=2, policy="round-robin", params="I", batch_capacity=8)
+    report = server.simulate(churn_trace(tenants=6, rounds=4), label="unbounded")
+    counters = report.metrics.key_cache
+    assert counters["evictions"] == 0
+    assert counters["reships"] == 0
+    assert counters["onboards"] == 6
+
+
+def test_large_budget_matches_unbounded_serving_bit_for_bit():
+    trace = churn_trace(tenants=4, rounds=3)
+    unbounded = Server(devices=2, params="I", batch_capacity=8)
+    bounded = Server(
+        devices=2,
+        params="I",
+        batch_capacity=8,
+        key_budget_bytes=hbm_key_budget_bytes(StrixClusterConfig().device),
+    )
+    baseline = unbounded.simulate(list(trace), label="x")
+    budgeted = bounded.simulate(list(trace), label="x")
+    assert budgeted.metrics.latency == baseline.metrics.latency
+    assert budgeted.metrics.cost_breakdown == baseline.metrics.cost_breakdown
+    assert budgeted.metrics.key_cache["evictions"] == 0
+
+
+def test_single_device_large_budget_stays_bit_for_bit_with_strix_sim():
+    from repro.serve.backend import StrixClusterBackend
+
+    graph = ComputationGraph(PARAM_SET_I, name="invariant")
+    graph.add_pbs_layer("lut0", 96)
+    graph.add_pbs_layer("lut1", 64, depends_on=["lut0"])
+    single = run(graph, backend="strix-sim")
+    backend = StrixClusterBackend(
+        devices=1,
+        config=StrixClusterConfig(devices=1).with_key_budget(
+            hbm_key_budget_bytes(StrixClusterConfig().device)
+        ),
+    )
+    cluster = run(graph, backend=backend)
+    assert cluster.latency_s == single.latency_s
+    assert cluster.pbs_count == single.pbs_count
+
+
+# -- key-affinity sharding -----------------------------------------------------------
+
+
+def test_key_affinity_policy_follows_resident_keys():
+    params = PARAM_SET_I
+    cluster = StrixCluster(devices=4, policy="key-affinity")
+    first = cluster.dispatch(bootstrap_batch(tenant="t"), 0.0, params)
+    assert first.breakdown["key_shipping_s"] == 0.0
+    # Load the home device: a residency-blind least-loaded policy would now
+    # migrate the tenant (and ship keys); key-affinity stays put.
+    cluster.devices[first.device].busy_until = 1.0
+    second = cluster.dispatch(bootstrap_batch(tenant="t", batch_id=1), 0.0, params)
+    assert second.device == first.device
+    assert second.breakdown["key_shipping_s"] == 0.0
+    assert cluster.key_cache_stats["misses"] == 0
+
+
+def test_key_affinity_falls_back_to_least_loaded_without_residency():
+    params = PARAM_SET_I
+    cluster = StrixCluster(devices=3, policy="key-affinity")
+    cluster.devices[0].busy_until = 5.0
+    dispatch = cluster.dispatch(bootstrap_batch(tenant="fresh"), 0.0, params)
+    assert dispatch.device == 1  # least loaded among the idle devices
+
+
+# -- stage-plan cache ----------------------------------------------------------------
+
+
+def inference_batch(request_id, tenant, batch_id):
+    return make_batch(
+        [
+            Request.make(request_id, tenant, "inference", 1, model="NN-20"),
+            Request.make(request_id + 1, tenant, "bootstrap", 16),
+        ],
+        batch_id=batch_id,
+    )
+
+
+def test_batch_mix_signature_ignores_ids_and_tenants():
+    first = inference_batch(1, "alice", 0)
+    second = inference_batch(7, "bob", 3)
+    assert batch_mix_signature(first) == batch_mix_signature(second)
+    different = make_batch([Request.make(9, "alice", "bootstrap", 17)], batch_id=4)
+    assert batch_mix_signature(different) != batch_mix_signature(first)
+
+
+def test_stage_plan_cache_hit_returns_identical_plan():
+    params = PARAM_SET_I
+    cluster = StrixCluster(devices=4, layout="pipeline")
+    layout = cluster.layout
+    warm = layout._stage_plan(cluster, inference_batch(1, "alice", 0), params)
+    hit = layout._stage_plan(cluster, inference_batch(7, "bob", 1), params)
+    assert hit is warm
+    assert layout.plan_cache_stats == {"hits": 1, "misses": 1, "entries": 1}
+
+    # A cold partition of the same shape is structurally identical.
+    cold = partition_graph_stages(
+        batch_graph(inference_batch(1, "alice", 0), params), len(cluster.devices)
+    )
+    assert cold.boundary_ciphertexts == warm.boundary_ciphertexts
+    assert [len(stage) for stage in cold.graphs] == [
+        len(stage) for stage in warm.graphs
+    ]
+    for cold_stage, warm_stage in zip(cold.graphs, warm.graphs):
+        for cold_node, warm_node in zip(cold_stage.nodes, warm_stage.nodes):
+            assert cold_node.kind == warm_node.kind
+            assert cold_node.ciphertexts == warm_node.ciphertexts
+            assert (
+                cold_node.operations_per_ciphertext
+                == warm_node.operations_per_ciphertext
+            )
+
+
+def test_stage_plan_cache_distinguishes_shapes_and_survives_reset():
+    params = PARAM_SET_I
+    cluster = StrixCluster(devices=4, layout="pipeline")
+    layout = cluster.layout
+    layout._stage_plan(cluster, bootstrap_batch(items=32, tenant="a"), params)
+    layout._stage_plan(cluster, bootstrap_batch(items=64, tenant="a"), params)
+    assert layout.plan_cache_stats["misses"] == 2
+    cluster.reset_serving_state()
+    # Counters clear per simulation; cached plans are pure data and persist.
+    assert layout.plan_cache_stats == {"hits": 0, "misses": 0, "entries": 2}
+    layout._stage_plan(cluster, bootstrap_batch(items=32, tenant="b"), params)
+    assert layout.plan_cache_stats["hits"] == 1
+
+
+def test_stage_plan_cache_keys_on_param_structure_not_name():
+    import dataclasses
+
+    cluster = StrixCluster(devices=2, layout="pipeline")
+    layout = cluster.layout
+    base = layout._stage_plan(cluster, bootstrap_batch(items=64), PARAM_SET_I)
+    # Same name, different structure: must not reuse the cached plan.
+    tweaked = dataclasses.replace(PARAM_SET_I, n=PARAM_SET_I.n // 2)
+    assert tweaked.name == PARAM_SET_I.name
+    other = layout._stage_plan(cluster, bootstrap_batch(items=64), tweaked)
+    assert other is not base
+    assert layout.plan_cache_stats["misses"] == 2
+
+
+def test_string_key_policy_override_lands_in_config():
+    cluster = StrixCluster(devices=2, key_budget_bytes=1024, key_policy="lfu")
+    assert cluster.config.key_policy == "lfu"
+    assert cluster.config.key_budget_bytes == 1024
+    rebuilt = StrixCluster(config=cluster.config)
+    assert rebuilt.key_residency.policy.name == "lfu"
+    assert rebuilt.key_residency.budget_bytes == 1024
+
+
+def test_pipeline_serving_reports_plan_cache_counters():
+    trace = churn_trace(tenants=2, rounds=3, items=4)
+    server = Server(devices=2, params="I", layout="pipeline", batch_capacity=8)
+    report = server.simulate(trace, label="pipeline")
+    plans = report.metrics.stage_plan_cache
+    assert plans["misses"] >= 1
+    assert plans["hits"] >= 1  # repeated batch shapes reuse the cut
+    assert report.to_dict()["stage_plan_cache"] == plans
+
+
+# -- reset ---------------------------------------------------------------------------
+
+
+def test_residency_reset_clears_everything():
+    cluster = StrixCluster(devices=2, key_budget_bytes=budget_for_single(1))
+    cluster.dispatch(bootstrap_batch(tenant="a"), 0.0, PARAM_SET_I)
+    cluster.dispatch(bootstrap_batch(tenant="b", batch_id=1), 0.0, PARAM_SET_I)
+    cluster.reset_serving_state()
+    stats = cluster.key_cache_stats
+    assert all(value == 0 for value in stats.values())
+    assert cluster.key_residency.resident_devices("a") == frozenset()
+    assert cluster.key_residency.resident_devices("b") == frozenset()

@@ -487,7 +487,7 @@ def test_async_flush_crash_propagates_to_awaiters_instead_of_hanging():
     """A policy crashing mid-flush must fail pending futures, not strand them."""
 
     class ExplodingPolicy(RoundRobinPolicy):
-        def select(self, busy_until, batch):
+        def select(self, busy_until, batch, resident=None):
             raise RuntimeError("boom")
 
     async def scenario():
@@ -508,7 +508,7 @@ def test_server_remains_usable_after_a_crashed_async_context():
     """aclose() must clean up even when the flusher died, not wedge the server."""
 
     class ExplodingPolicy(RoundRobinPolicy):
-        def select(self, busy_until, batch):
+        def select(self, busy_until, batch, resident=None):
             raise RuntimeError("boom")
 
     async def scenario():
@@ -532,7 +532,7 @@ def test_server_remains_usable_after_a_crashed_async_context():
 
 def test_async_submission_after_flusher_crash_raises_instead_of_hanging():
     class ExplodingPolicy(RoundRobinPolicy):
-        def select(self, busy_until, batch):
+        def select(self, busy_until, batch, resident=None):
             raise RuntimeError("boom")
 
     async def scenario():

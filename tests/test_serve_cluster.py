@@ -42,7 +42,7 @@ def one_request_batch(items: int, tenant: str = "t0") -> Batch:
 
 
 def test_policy_registry():
-    assert list_policies() == ["affinity", "least-loaded", "round-robin"]
+    assert list_policies() == ["affinity", "key-affinity", "least-loaded", "round-robin"]
     assert isinstance(get_policy("round-robin"), RoundRobinPolicy)
     instance = LeastLoadedPolicy()
     assert get_policy(instance) is instance
