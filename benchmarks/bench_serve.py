@@ -17,7 +17,13 @@ Writes ``BENCH_serve.json`` with two families of records:
   re-ships, shipping seconds, p99), with and without key-affinity dispatch;
 * ``plan_cache/...`` — the pipeline layout's stage-plan cache: event-model
   pipeline serving on repeated batch shapes, cold versus warm wall clock
-  (timed records) plus the deterministic hit counters.
+  (timed records) plus the deterministic hit counters;
+* ``cost_cache/...`` — the event model's schedule cache: the same
+  repeated-shape trace priced cold (memoization disabled, one cycle-level
+  simulation per batch) versus warm (every shape priced once, then
+  dictionary lookups): wall clock, speedup, warm batches/s and the
+  deterministic hit-rate/p99 records proving outputs are bit-for-bit
+  unchanged.
 
 Run it directly (``--smoke`` shrinks the traces for CI)::
 
@@ -237,6 +243,95 @@ def bench_stage_plan_cache(
     print()
 
 
+def bench_cost_cache(report: BenchReport, duration_s: float, seed: int) -> None:
+    """Event-model batch pricing: cold (one simulation per batch) vs warm.
+
+    The trace repeats a handful of batch shapes (bootstrap bursts plus
+    NN-20/NN-50 inferences), the steady-traffic case the schedule cache
+    exists for.  ``cold`` disables memoization (``cost_cache_capacity=0``),
+    so every flushed batch pays a full discrete-event simulation — the
+    pre-cache serving cost of ``cost_model="event"``.  ``warm`` serves the
+    same trace with a warmed cache, so every batch prices as a dictionary
+    lookup.  Model outputs are identical by construction; the deterministic
+    p99/hit-rate records prove it while the timed pair captures the
+    speedup that makes the event model affordable as a serving default.
+    """
+    requests = max(int(2000 * duration_s), 64)
+
+    # Period-8 request pattern: bootstrap bursts of two sizes plus one
+    # NN-20 and one NN-50 inference per period, so flushed batches repeat
+    # a small set of shapes with real multi-level graphs in them.
+    def shape(i: int) -> tuple[str, int, "str | None"]:
+        slot = i % 8
+        if slot == 3:
+            return ("inference", 1, "NN-20")
+        if slot == 7:
+            return ("inference", 1, "NN-50")
+        return ("bootstrap", 8 if slot % 2 == 0 else 12, None)
+
+    trace = []
+    for i in range(requests):
+        kind, items, model = shape(i)
+        trace.append(
+            Request.make(
+                i + 1,
+                f"tenant{i % 4}",
+                kind,
+                items,
+                arrival_s=i * 5e-4,
+                model=model,
+            )
+        )
+    cold_server = Server(
+        devices=4,
+        params="I",
+        cost_model="event",
+        batch_capacity=32,
+        cost_cache_capacity=0,
+    )
+    warm_server = Server(devices=4, params="I", cost_model="event", batch_capacity=32)
+    cold_s = report.time(
+        "cost_cache/cold_simulate",
+        lambda: cold_server.simulate(list(trace), label="cost-cold"),
+        repeats=1,
+    )
+    warm_server.simulate(list(trace), label="cost-warm")  # populate the cache
+    warm_s = report.time(
+        "cost_cache/warm_simulate",
+        lambda: warm_server.simulate(list(trace), label="cost-warm"),
+        repeats=3,
+    )
+    warm_report = warm_server.simulate(list(trace), label="cost-warm")
+    report.add(
+        "cost_cache/speedup",
+        cold_s / warm_s if warm_s > 0 else 1.0,
+        "x",
+        timed=True,
+    )
+    report.add(
+        "cost_cache/warm_batches_per_s",
+        warm_report.metrics.batches / warm_s if warm_s > 0 else 0.0,
+        "batch/s",
+        timed=True,
+    )
+    counters = warm_report.metrics.cost_cache
+    report.add("cost_cache/warm_hits", counters["hits"], "count")
+    report.add("cost_cache/warm_misses", counters["misses"], "count")
+    report.add("cost_cache/entries", counters["entries"], "count")
+    report.add(
+        "cost_cache/hit_rate",
+        counters["hits"] / max(counters["hits"] + counters["misses"], 1),
+        "fraction",
+    )
+    report.add("cost_cache/p99_latency", warm_report.metrics.latency.p99_s, "s")
+    print(warm_report.render())
+    print(
+        f"schedule cache: cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.1f} ms "
+        f"({cold_s / warm_s:.1f}x)"
+    )
+    print()
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -256,6 +351,7 @@ def main() -> None:
     bench_layouts_and_cost_models(report, duration_s, args.seed)
     bench_key_memory(report, duration_s, args.seed)
     bench_stage_plan_cache(report, duration_s, args.seed)
+    bench_cost_cache(report, duration_s, args.seed)
     path = report.write(args.output)
     print(f"[saved {len(report.records)} records to {path}]")
 

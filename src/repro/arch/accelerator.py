@@ -46,7 +46,7 @@ class EpochPlan:
     lwes: int
     device_batch: int
     core_batch: int
-    lwes_per_core: list[int]
+    lwes_per_core: tuple[int, ...]
     blind_rotation_cycles: int
     keyswitch_cycles: int
     keyswitch_hidden: bool
@@ -68,6 +68,12 @@ class StrixAccelerator:
         self.hbm = HBMModel(config)
         self.noc = MulticastNetwork(config)
         self.area_power = AreaPowerModel(config)
+        # Pure functions of (params, config) memoized off the scheduler's
+        # per-epoch hot path; config is frozen, so entries can never go
+        # stale.  Epoch plans are keyed per (params, lwes) — at most
+        # epoch-capacity distinct sizes per parameter set.
+        self._iteration_latency: dict[TFHEParameters, int] = {}
+        self._epoch_plans: dict[tuple[TFHEParameters, int], EpochPlan] = {}
 
     # -- microbenchmark (Table V) -------------------------------------------------
 
@@ -81,8 +87,12 @@ class StrixAccelerator:
         The compute latency is the pipeline traversal; when the operating
         point is memory bound the iteration additionally cannot complete
         faster than the next bootstrapping-key fragment can be fetched over
-        the HBM channels allocated to it.
+        the HBM channels allocated to it.  Memoized per parameter set — the
+        epoch scheduler asks once per single-LWE core booking.
         """
+        cached = self._iteration_latency.get(params)
+        if cached is not None:
+            return cached
         timing = self.core.pipeline_timing(params)
         fragment_bytes = self.hbm.global_scratchpad.bootstrapping_key_fragment_bytes(params)
         bsk_bandwidth = (
@@ -96,7 +106,9 @@ class StrixAccelerator:
         )
         fetch_seconds = fragment_bytes / (bsk_bandwidth * 1e9)
         fetch_cycles = math.ceil(fetch_seconds * self.config.clock_hz)
-        return max(timing.iteration_latency, fetch_cycles)
+        latency = max(timing.iteration_latency, fetch_cycles)
+        self._iteration_latency[params] = latency
+        return latency
 
     def pbs_latency_ms(self, params: TFHEParameters) -> float:
         """Latency of a single PBS (one LWE, no batching)."""
@@ -146,9 +158,17 @@ class StrixAccelerator:
         Ciphertexts are spread across the ``tvlp`` cores; each core streams
         its share through the PBS pipeline (core-level batching), then the
         keyswitch cluster drains while the next epoch's blind rotation runs.
+
+        Plans are memoized per ``(params, lwes)`` — the epoch scheduler and
+        ``pbs_batch_cycles`` replan the same epoch sizes constantly — and
+        shared, which is safe because :class:`EpochPlan` is immutable
+        (frozen dataclass, per-core counts stored as a tuple).
         """
         if lwes < 1:
             raise ValueError("an epoch needs at least one LWE")
+        cached = self._epoch_plans.get((params, lwes))
+        if cached is not None:
+            return cached
         device_batch = self.config.tvlp
         core_batch = self.core.core_batch_size(params)
         capacity = device_batch * core_batch
@@ -163,15 +183,17 @@ class StrixAccelerator:
         else:
             blind_rotation_cycles = params.n * busiest * timing.initiation_interval
         keyswitch_cycles = busiest * self.core.keyswitch_cycles(params)
-        return EpochPlan(
+        plan = EpochPlan(
             lwes=scheduled,
             device_batch=device_batch,
             core_batch=core_batch,
-            lwes_per_core=per_core,
+            lwes_per_core=tuple(per_core),
             blind_rotation_cycles=blind_rotation_cycles,
             keyswitch_cycles=keyswitch_cycles,
             keyswitch_hidden=keyswitch_cycles <= blind_rotation_cycles,
         )
+        self._epoch_plans[(params, lwes)] = plan
+        return plan
 
     def pbs_batch_cycles(self, params: TFHEParameters, lwes: int) -> int:
         """Cycles to bootstrap ``lwes`` ciphertexts (multiple epochs if needed).

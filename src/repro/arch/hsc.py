@@ -68,11 +68,22 @@ class HomomorphicStreamingCore:
         self.pbs_cluster = build_pbs_cluster(config)
         self.keyswitch_cluster = KeyswitchCluster(config)
         self.local_scratchpad = LocalScratchpad(config)
+        # Per-parameter-set memos.  Everything below is a pure function of
+        # (params, config) and config is frozen at construction, so caching
+        # cannot change any value — it only takes the recomputation off the
+        # epoch scheduler's per-node/per-epoch hot path.  Callers treat the
+        # returned objects as read-only.
+        self._pipeline_timing: dict[TFHEParameters, PipelineTiming] = {}
+        self._core_batch_size: dict[TFHEParameters, int] = {}
+        self._keyswitch_cycles: dict[TFHEParameters, int] = {}
 
     # -- PBS cluster ----------------------------------------------------------
 
     def pipeline_timing(self, params: TFHEParameters) -> PipelineTiming:
-        """Per-iteration timing of the PBS cluster for one LWE."""
+        """Per-iteration timing of the PBS cluster for one LWE (memoized)."""
+        timing = self._pipeline_timing.get(params)
+        if timing is not None:
+            return timing
         busy = {
             name: unit.busy_cycles_per_lwe(params)
             for name, unit in self.pbs_cluster.items()
@@ -85,16 +96,22 @@ class HomomorphicStreamingCore:
         # the initiation interval.
         fft_unit = self.pbs_cluster["fft"].unit
         iteration_latency = initiation_interval + fft_unit.latency(params.N)
-        return PipelineTiming(
+        timing = PipelineTiming(
             initiation_interval=initiation_interval,
             iteration_latency=iteration_latency,
             stage_busy_cycles=busy,
             bottleneck_unit=bottleneck,
         )
+        self._pipeline_timing[params] = timing
+        return timing
 
     def core_batch_size(self, params: TFHEParameters) -> int:
-        """Core-level batch size supported by the local scratchpad."""
-        return self.local_scratchpad.core_batch_size(params)
+        """Core-level batch size supported by the local scratchpad (memoized)."""
+        size = self._core_batch_size.get(params)
+        if size is None:
+            size = self.local_scratchpad.core_batch_size(params)
+            self._core_batch_size[params] = size
+        return size
 
     def pbs_cycles_single(self, params: TFHEParameters) -> int:
         """Cycles for one complete PBS of a single LWE (latency view)."""
@@ -109,8 +126,12 @@ class HomomorphicStreamingCore:
     # -- keyswitch cluster ------------------------------------------------------
 
     def keyswitch_cycles(self, params: TFHEParameters) -> int:
-        """Cycles to keyswitch one LWE."""
-        return self.keyswitch_cluster.busy_cycles_per_lwe(params)
+        """Cycles to keyswitch one LWE (memoized)."""
+        cycles = self._keyswitch_cycles.get(params)
+        if cycles is None:
+            cycles = self.keyswitch_cluster.busy_cycles_per_lwe(params)
+            self._keyswitch_cycles[params] = cycles
+        return cycles
 
     def keyswitch_hidden(self, params: TFHEParameters) -> bool:
         """Whether keyswitching hides behind the next epoch's blind rotation."""

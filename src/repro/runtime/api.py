@@ -64,7 +64,7 @@ def run(
     options:
         Additional backend-specific keywords (e.g. ``outputs=`` for the
         reference backend).  The ``"strix-cluster"`` backend understands
-        four cluster-shaping options, all string-registered with
+        five cluster-shaping options, all string-registered with
         did-you-mean errors:
 
         * ``devices=N`` — number of simulated Strix chips (default 4);
@@ -78,7 +78,10 @@ def run(
         * ``cost_model=`` — serving batch pricing: ``"analytical"``
           (closed-form epoch stream) or ``"event"`` (cycle-level
           scheduler on the batch's real graph) — see
-          :mod:`repro.sched.cost`.
+          :mod:`repro.sched.cost`;
+        * ``cost_cache_capacity=`` — entries of the schedule cache that
+          memoizes event-model pricing by batch shape (``0`` disables;
+          memoized pricing is bit-for-bit) — see :mod:`repro.sched.memo`.
 
         ``run("NN-100", backend="strix-cluster", devices=4,
         layout="pipeline")`` is the canonical multi-device call.
@@ -105,7 +108,4 @@ def compare(
     A convenience over calling :func:`run` in a loop; the default backend
     set is the paper's comparison (Strix vs CPU vs GPU).
     """
-    return [
-        run(workload, backend=backend, params=params, **run_options)
-        for backend in backends
-    ]
+    return [run(workload, backend=backend, params=params, **run_options) for backend in backends]

@@ -88,9 +88,7 @@ class ReferenceBackend(Backend):
         # LUT tables depend only on (function, params): tabulate each one once
         # for the whole instance batch.
         luts = {
-            index: LookUpTable.from_function(
-                operation.function or (lambda m: m), netlist.params
-            )
+            index: LookUpTable.from_function(operation.function or (lambda m: m), netlist.params)
             for index, operation in enumerate(netlist.operations)
             if operation.kind == "lut"
         }

@@ -74,5 +74,6 @@ class RunResult:
         energy = f", {self.energy_j:.3f} J" if self.energy_j is not None else ""
         return (
             f"{self.backend:>14}: {self.latency_ms:12.3f} ms, "
-            f"{self.pbs_count:,} PBS ({self.throughput_pbs_per_s:,.0f} PBS/s{energy})"
+            f"{self.pbs_count:,} PBS "
+            f"({self.throughput_pbs_per_s:,.0f} PBS/s{energy})"
         )

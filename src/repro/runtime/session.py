@@ -160,9 +160,7 @@ class Session:
         refreshed: list[LweCiphertext] = []
         for epoch in self.iter_epochs(ciphertexts):
             for ciphertext in epoch:
-                result = self.context.programmable_bootstrap(
-                    ciphertext, function, keyswitch
-                )
+                result = self.context.programmable_bootstrap(ciphertext, function, keyswitch)
                 refreshed.append(result.ciphertext)
         return refreshed
 

@@ -49,9 +49,7 @@ def workload_name(workload: WorkloadLike) -> str:
     return str(workload)
 
 
-def as_netlist(
-    workload: WorkloadLike, params: TFHEParameters | str | None = None
-) -> Netlist:
+def as_netlist(workload: WorkloadLike, params: TFHEParameters | str | None = None) -> Netlist:
     """Lower a workload to a :class:`Netlist`, or explain why it cannot be.
 
     Only netlists carry operation-level semantics (which gate, which LUT

@@ -9,7 +9,10 @@ Two orthogonal seams, both string-registered and pluggable:
   to a computation graph and runs the cycle-level
   :class:`~repro.sim.scheduler.StrixScheduler` on it, so per-epoch
   keyswitch overlap and epoch fragmentation become visible in serving
-  latency.
+  latency.  :class:`ScheduleCache` (:mod:`repro.sched.memo`) memoizes the
+  event model by request-mix signature × parameter set × device geometry,
+  so repeated batch shapes price in dictionary-lookup time — the cluster
+  wraps ``cost_model="event"`` in it automatically.
 * **Placement layouts** (:mod:`repro.sched.layouts`) decide *where* work
   lands on the cluster: :class:`DataParallelLayout` (every device runs every
   layer; one batch → one device), :class:`PipelineLayout` (stage-per-device
@@ -48,23 +51,31 @@ from repro.sched.layouts import (
     get_layout,
     list_layouts,
 )
+from repro.sched.memo import (
+    DEFAULT_COST_CACHE_CAPACITY,
+    ScheduleCache,
+    graph_signature,
+)
 from repro.sched.partition import StagePlan, partition_graph_stages
 
 __all__ = [
     "AnalyticalCostModel",
     "BatchCost",
     "CostModel",
+    "DEFAULT_COST_CACHE_CAPACITY",
     "DataParallelLayout",
     "Dispatch",
     "ElasticLayout",
     "EventDrivenCostModel",
     "PipelineLayout",
     "PlacementLayout",
+    "ScheduleCache",
     "StagePlan",
     "batch_graph",
     "batch_mix_signature",
     "get_cost_model",
     "get_layout",
+    "graph_signature",
     "list_cost_models",
     "list_layouts",
     "partition_graph_stages",

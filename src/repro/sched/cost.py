@@ -73,6 +73,16 @@ def _classify_requests(batch: "Batch") -> tuple[int, int, list]:
     requests that each expand to a per-request layer subgraph.  Both
     :func:`batch_graph` and :func:`batch_mix_signature` consume these
     buckets, so the cache key cannot drift from the graph it stands for.
+
+    Model-carrying requests come back sorted by ``(model, items)`` — the
+    order the signature records them in.  The sort is what makes the
+    signature → schedule mapping a *function*: the cycle-level scheduler
+    books shared resources in graph insertion order, so two batches whose
+    inference requests arrived in different orders would otherwise lower
+    to differently-ordered graphs and schedule to (slightly) different
+    makespans despite equal signatures.  Sorting is stable, so batches
+    whose model requests already share one ``(model, items)`` shape — every
+    trace the benchmarks replay — are lowered exactly as before.
     """
     linear_items = 0
     simple_pbs = 0
@@ -84,6 +94,7 @@ def _classify_requests(batch: "Batch") -> tuple[int, int, list]:
             simple_pbs += request.total_pbs
         else:
             model_requests.append(request)
+    model_requests.sort(key=lambda request: (request.model, request.items))
     return linear_items, simple_pbs, model_requests
 
 
@@ -92,18 +103,49 @@ def batch_mix_signature(batch: "Batch") -> tuple:
 
     Two batches with equal signatures lower (via :func:`batch_graph`) to
     structurally identical computation graphs — identical node kinds,
-    ciphertext counts, per-ciphertext operations and dependencies — because
-    both functions bucket requests through the same
-    :func:`_classify_requests`.  Request ids, tenants and arrival times
-    deliberately do not appear: they never influence the graph shape, so
-    the pipeline layout's stage-plan cache can key on this signature and
-    reuse one partition across every batch of the same shape.
+    ciphertext counts, per-ciphertext operations, dependencies *and node
+    order* — because both functions bucket requests through the same
+    :func:`_classify_requests` (which sorts model requests into signature
+    order).  Request ids, tenants and arrival times deliberately do not
+    appear: they never influence the graph shape, so the pipeline layout's
+    stage-plan cache and the event model's schedule cache
+    (:class:`repro.sched.memo.ScheduleCache`) can key on this signature
+    and reuse one partition / one priced schedule across every batch of
+    the same shape.
     """
     linear_items, simple_pbs, model_requests = _classify_requests(batch)
-    models = tuple(
-        sorted((request.model, request.items) for request in model_requests)
-    )
+    models = tuple((request.model, request.items) for request in model_requests)
     return (linear_items, simple_pbs, models)
+
+
+#: Template layer graphs per ``(model name, parameter set)``: node specs of
+#: one single-sample inference, cloned (and scaled by the request's sample
+#: count) into every batch graph instead of rebuilding the model graph node
+#: by node per request.  Pure derived data, a handful of models × parameter
+#: sets, so the cache is unbounded.
+_MODEL_TEMPLATES: dict[tuple[str, TFHEParameters], tuple[tuple, ...]] = {}
+
+
+def _model_template(model: str, params: TFHEParameters) -> tuple[tuple, ...]:
+    """Node specs ``(name, kind, ciphertexts, ops, depends_on)`` of one model."""
+    key = (model, params)
+    template = _MODEL_TEMPLATES.get(key)
+    if template is None:
+        from repro.apps.deep_nn import ZAMA_DEEP_NN_MODELS, build_deep_nn_graph
+
+        model_graph = build_deep_nn_graph(ZAMA_DEEP_NN_MODELS[model], params)
+        template = tuple(
+            (
+                node.name,
+                node.kind,
+                node.ciphertexts,
+                node.operations_per_ciphertext,
+                tuple(node.depends_on),
+            )
+            for node in model_graph.nodes
+        )
+        _MODEL_TEMPLATES[key] = template
+    return template
 
 
 def batch_graph(batch: "Batch", params: TFHEParameters) -> ComputationGraph:
@@ -116,6 +158,10 @@ def batch_graph(batch: "Batch", params: TFHEParameters) -> ComputationGraph:
     full layer structure (scaled by the request's sample count), because the
     layer dependencies are exactly what limits batching and produces the
     fragmentation/keyswitch effects the event-driven model exists to see.
+
+    The model layer structure is cloned from a per-``(model, params)``
+    template (:func:`_model_template`) rather than rebuilt node by node —
+    lowering is on the serving hot path, once per event-priced dispatch.
     """
     linear_items, simple_pbs, model_requests = _classify_requests(batch)
     graph = ComputationGraph(params, name=f"batch-{batch.batch_id}")
@@ -124,18 +170,16 @@ def batch_graph(batch: "Batch", params: TFHEParameters) -> ComputationGraph:
     if simple_pbs:
         graph.add_pbs_layer("pbs", simple_pbs)
     for request in model_requests:
-        from repro.apps.deep_nn import ZAMA_DEEP_NN_MODELS, build_deep_nn_graph
-
-        model_graph = build_deep_nn_graph(ZAMA_DEEP_NN_MODELS[request.model], params)
+        template = _model_template(request.model, params)
         prefix = f"req{request.request_id}/"
-        for node in model_graph.nodes:
+        for name, kind, ciphertexts, operations, depends_on in template:
             graph.add_node(
                 ComputationNode(
-                    name=prefix + node.name,
-                    kind=node.kind,
-                    ciphertexts=node.ciphertexts * request.items,
-                    operations_per_ciphertext=node.operations_per_ciphertext,
-                    depends_on=[prefix + dep for dep in node.depends_on],
+                    name=prefix + name,
+                    kind=kind,
+                    ciphertexts=ciphertexts * request.items,
+                    operations_per_ciphertext=operations,
+                    depends_on=[prefix + dep for dep in depends_on],
                 )
             )
     return graph
@@ -161,6 +205,19 @@ class CostModel(abc.ABC):
         device: "StrixDevice",
     ) -> BatchCost:
         """Compute residency of one pipeline-stage subgraph on ``device``."""
+
+    def reset(self) -> None:
+        """Clear per-simulation state (default: stateless).
+
+        Memoizing models (:class:`repro.sched.memo.ScheduleCache`) clear
+        their hit/miss counters here; cached schedules are pure derived
+        data and survive, mirroring the pipeline stage-plan cache.
+        """
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        """Schedule-cache counters (empty for models that don't memoize)."""
+        return {}
 
 
 class AnalyticalCostModel(CostModel):

@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import UnknownLayoutError
 from repro.params import TFHEParameters
+from repro.sched.memo import LruCache
 from repro.runtime.result import RunResult
 from repro.runtime.workload import WorkloadLike, as_graph, as_netlist
 from repro.sched.partition import partition_graph_stages
@@ -392,30 +393,29 @@ class PipelineLayout(PlacementLayout):
     a handful of shapes, partitions each shape once instead of once per
     batch.  The cache holds pure derived data and therefore survives
     :meth:`reset` (only the hit/miss counters clear); it is bounded by
-    :attr:`plan_cache_capacity` with FIFO replacement.
+    :attr:`plan_cache_capacity` with LRU replacement (the same
+    :class:`~repro.sched.memo.LruCache` the event model's schedule cache
+    uses, so the two per-shape caches share one semantics).
     """
 
     name = "pipeline"
 
-    #: Cached stage plans kept before the oldest shape is dropped.
+    #: Cached stage plans kept before the least-recently-used is dropped.
     plan_cache_capacity = 256
 
     def __init__(self) -> None:
-        self._plan_cache: dict[tuple, "StagePlan"] = {}
-        self.plan_cache_hits = 0
-        self.plan_cache_misses = 0
+        self._plan_cache = LruCache(self.plan_cache_capacity)
 
     def reset(self) -> None:
         """Clear per-simulation counters (cached plans are pure and kept)."""
-        self.plan_cache_hits = 0
-        self.plan_cache_misses = 0
+        self._plan_cache.reset_counters()
 
     @property
     def plan_cache_stats(self) -> dict[str, int]:
         """Hit/miss counters of this simulation plus resident plan count."""
         return {
-            "hits": self.plan_cache_hits,
-            "misses": self.plan_cache_misses,
+            "hits": self._plan_cache.hits,
+            "misses": self._plan_cache.misses,
             "entries": len(self._plan_cache),
         }
 
@@ -429,16 +429,12 @@ class PipelineLayout(PlacementLayout):
         # name: replace(PARAM_SET_I, n=...) keeps the name but changes the
         # graph the batch lowers to.
         signature = (len(cluster.devices), params, batch_mix_signature(batch))
-        plan = self._plan_cache.get(signature)
-        if plan is not None:
-            self.plan_cache_hits += 1
-            return plan
-        self.plan_cache_misses += 1
-        plan = partition_graph_stages(batch_graph(batch, params), len(cluster.devices))
-        if len(self._plan_cache) >= self.plan_cache_capacity:
-            self._plan_cache.pop(next(iter(self._plan_cache)))
-        self._plan_cache[signature] = plan
-        return plan
+        return self._plan_cache.get_or_compute(
+            signature,
+            lambda: partition_graph_stages(
+                batch_graph(batch, params), len(cluster.devices)
+            ),
+        )
 
     def dispatch(
         self,

@@ -1,0 +1,216 @@
+"""Schedule memoization: price repeated batch shapes in dictionary time.
+
+The event-driven cost model is the faithful one — keyswitch overlap and
+epoch fragmentation only show up when the cycle-level scheduler runs the
+batch's real graph — but one discrete-event simulation per flushed batch
+is what kept the serving tier on the closed-form analytical default.
+Serving traffic, however, repeats a handful of batch *shapes*: the adaptive
+batcher flushes at a fixed capacity over a stationary request mix, so the
+same graphs are re-simulated thousands of times per trace.
+
+:class:`ScheduleCache` exploits that.  It wraps any
+:class:`~repro.sched.cost.CostModel` (the event-driven one in practice)
+and memoizes :class:`~repro.sched.cost.BatchCost` results under an LRU
+policy, keyed on everything the wrapped simulation can observe:
+
+* the batch's request-mix signature
+  (:func:`~repro.sched.cost.batch_mix_signature`) for whole-batch pricing,
+  or a structural graph signature for pipeline-stage pricing;
+* the TFHE parameter set — the *object*, not its name, so a structurally
+  tweaked set under a reused name can never alias a cached schedule (the
+  same invariant the stage-plan cache enforces);
+* the device geometry (the device's frozen
+  :class:`~repro.arch.config.StrixConfig`) — identical chips share
+  entries, heterogeneous ones cannot collide.
+
+Equal keys imply bit-for-bit equal schedules because the scheduler is a
+deterministic function of (ordered graph structure, params, config) and
+:func:`~repro.sched.cost.batch_graph` lowers equal signatures to
+identically-ordered graphs.  Cached entries are therefore pure derived
+data: they survive :meth:`ScheduleCache.reset` (only the per-simulation
+hit/miss counters clear), exactly like the pipeline layout's stage-plan
+cache.
+
+The cluster wraps ``cost_model="event"`` in a :class:`ScheduleCache`
+automatically (capacity via the ``cost_cache_capacity`` knob on
+:class:`~repro.serve.server.ServeConfig`, :class:`~repro.serve.cluster
+.StrixCluster` and the ``strix-cluster`` backend; ``0`` disables), which
+is what makes the faithful model affordable as a serving default — see
+``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.params import TFHEParameters
+from repro.sched.cost import (
+    BatchCost,
+    CostModel,
+    batch_mix_signature,
+    get_cost_model,
+)
+from repro.sim.graph import ComputationGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.serve.batcher import Batch
+    from repro.serve.cluster import StrixDevice
+
+#: Default number of priced schedules kept before LRU eviction.  Steady
+#: traffic repeats a handful of shapes; 512 comfortably holds a multi-tenant
+#: mix (per-entry cost is one :class:`BatchCost`, a few hundred bytes).
+DEFAULT_COST_CACHE_CAPACITY = 512
+
+
+class LruCache:
+    """A small bounded LRU of pure derived values with hit/miss counters.
+
+    The one bounded-cache implementation shared by :class:`ScheduleCache`
+    and the pipeline layout's stage-plan cache, so the two per-shape caches
+    cannot drift apart in eviction or accounting semantics.  Entries are
+    pure derived data (schedules, stage plans): eviction can never change a
+    result, only cost a recomputation, and :meth:`reset_counters` clears
+    the per-simulation bookkeeping while keeping the entries.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("a bounded cache needs capacity of at least 1")
+        self.capacity = capacity
+        self._entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_compute(self, key, compute: "Callable[[], object]"):
+        """The cached value for ``key``, computing (and caching) on miss."""
+        value = self._entries.get(key)
+        if value is not None:
+            self.hits += 1
+            # Move-to-back keeps eviction order LRU (dicts preserve
+            # insertion order; the front is always the coldest entry).
+            del self._entries[key]
+            self._entries[key] = value
+            return value
+        self.misses += 1
+        value = compute()
+        if len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+        self._entries[key] = value
+        return value
+
+    def reset_counters(self) -> None:
+        """Clear hit/miss/eviction counters (cached entries are kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+def graph_signature(graph: ComputationGraph) -> tuple:
+    """Structural identity of a computation graph, minus its node names.
+
+    Everything the cycle-level scheduler's timing depends on, in insertion
+    order: node kind, ciphertext count, per-ciphertext operations and the
+    dependency structure (as indices into the node list, so renamed nodes —
+    e.g. per-request prefixes — still collide).  Two graphs with equal
+    signatures schedule bit-for-bit identically on the same device.
+    """
+    index_of = {node.name: index for index, node in enumerate(graph.nodes)}
+    return tuple(
+        (
+            node.kind.value,
+            node.ciphertexts,
+            node.operations_per_ciphertext,
+            tuple(sorted(index_of[dep] for dep in node.depends_on)),
+        )
+        for node in graph.nodes
+    )
+
+
+class ScheduleCache(CostModel):
+    """LRU-memoized cost model: repeated shapes price as a dict lookup.
+
+    Wraps ``inner`` (a cost model name or instance; the event-driven model
+    by default) and caches its :class:`BatchCost` results.  The wrapper is
+    transparent — :attr:`name` reports the inner model's registry name, so
+    serving reports and config round-trips are unchanged — and exact:
+    memoized results are bit-for-bit equal to what the inner model would
+    have returned, for every layout (whole batches and pipeline stages).
+    """
+
+    def __init__(
+        self,
+        inner: "str | CostModel" = "event",
+        capacity: int = DEFAULT_COST_CACHE_CAPACITY,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("a schedule cache needs capacity of at least 1")
+        self.inner = get_cost_model(inner)
+        self._cache = LruCache(capacity)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        """The wrapped model's registry name (the cache is transparent)."""
+        return self.inner.name
+
+    @property
+    def capacity(self) -> int:
+        """Entries kept before the least-recently-used one is evicted."""
+        return self._cache.capacity
+
+    @property
+    def hits(self) -> int:
+        """Cache hits since the last :meth:`reset`."""
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        """Cache misses (priced simulations) since the last :meth:`reset`."""
+        return self._cache.misses
+
+    @property
+    def evictions(self) -> int:
+        """LRU evictions since the last :meth:`reset`."""
+        return self._cache.evictions
+
+    # -- pricing -----------------------------------------------------------------
+
+    def batch_cost(
+        self, batch: "Batch", params: TFHEParameters, device: "StrixDevice"
+    ) -> BatchCost:
+        key = ("batch", batch_mix_signature(batch), params, device.accelerator.config)
+        return self._cache.get_or_compute(
+            key, lambda: self.inner.batch_cost(batch, params, device)
+        )
+
+    def stage_cost(
+        self,
+        stage_graph: ComputationGraph,
+        params: TFHEParameters,
+        device: "StrixDevice",
+    ) -> BatchCost:
+        key = ("stage", graph_signature(stage_graph), params, device.accelerator.config)
+        return self._cache.get_or_compute(
+            key, lambda: self.inner.stage_cost(stage_graph, params, device)
+        )
+
+    # -- bookkeeping --------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear per-simulation counters (cached schedules are pure, kept)."""
+        self.inner.reset()
+        self._cache.reset_counters()
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus resident schedule count."""
+        return {
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+            "evictions": self._cache.evictions,
+            "entries": len(self._cache),
+        }

@@ -43,7 +43,12 @@ class StrixClusterBackend(Backend):
         device_config: StrixConfig | None = None,
         layout: str | PlacementLayout = "data-parallel",
         cost_model: str | CostModel = "analytical",
+        cost_cache_capacity: int | None = None,
     ):
+        # Remembered so per-call reshapes default to the configured value
+        # (an explicit 0 here must not be silently re-enabled by a
+        # devices=/policy= override later).
+        self.cost_cache_capacity = cost_cache_capacity
         self.cluster = StrixCluster(
             devices=devices,
             policy=policy,
@@ -51,6 +56,7 @@ class StrixClusterBackend(Backend):
             device_config=device_config,
             layout=layout,
             cost_model=cost_model,
+            cost_cache_capacity=cost_cache_capacity,
         )
 
     def run(
@@ -65,14 +71,16 @@ class StrixClusterBackend(Backend):
         policy: str | ShardingPolicy | None = None,
         layout: str | PlacementLayout | None = None,
         cost_model: str | CostModel | None = None,
+        cost_cache_capacity: int | None = None,
         **options: Any,
     ) -> RunResult:
         """Shard ``workload`` across the cluster's devices.
 
-        ``devices`` / ``policy`` / ``layout`` / ``cost_model`` given at the
-        call site re-shape the cluster for this run (the registry
-        instantiates the backend with defaults, so per-call overrides are
-        how ``run(..., devices=4, layout="pipeline")`` works); ``inputs``
+        ``devices`` / ``policy`` / ``layout`` / ``cost_model`` /
+        ``cost_cache_capacity`` given at the call site re-shape the cluster
+        for this run (the registry instantiates the backend with defaults,
+        so per-call overrides are how
+        ``run(..., devices=4, layout="pipeline")`` works); ``inputs``
         is ignored — the cluster is a performance model, use the
         ``"reference"`` backend for functional execution.
         """
@@ -82,6 +90,7 @@ class StrixClusterBackend(Backend):
             or policy is not None
             or layout is not None
             or cost_model is not None
+            or cost_cache_capacity is not None
         )
         if reshaped:
             resolved_devices = devices if devices is not None else len(cluster.devices)
@@ -89,12 +98,18 @@ class StrixClusterBackend(Backend):
                 devices=resolved_devices,
                 # Pass the instances through (not their registry names) so
                 # custom policy/layout/cost-model objects survive per-call
-                # reshaping.
+                # reshaping.  An already-wrapped ScheduleCache instance is
+                # reused as-is (the cluster never double-wraps).
                 policy=policy if policy is not None else cluster.policy,
                 config=cluster.config.with_devices(resolved_devices),
                 layout=layout if layout is not None else cluster.layout,
                 cost_model=(
                     cost_model if cost_model is not None else cluster.cost_model
+                ),
+                cost_cache_capacity=(
+                    cost_cache_capacity
+                    if cost_cache_capacity is not None
+                    else self.cost_cache_capacity
                 ),
             )
         return cluster.run(workload, params=params, instances=instances)

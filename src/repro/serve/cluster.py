@@ -6,7 +6,9 @@ serving tier the ROADMAP asks for needs more.  :class:`StrixCluster` models
 pluggable :class:`~repro.sched.layouts.PlacementLayout` (data-parallel /
 pipeline / elastic) and *how long* a serving batch occupies its device to a
 pluggable :class:`~repro.sched.cost.CostModel` (closed-form analytical or
-event-driven on the cycle-level scheduler); both paths share the
+event-driven on the cycle-level scheduler, the latter memoized by a
+:class:`~repro.sched.memo.ScheduleCache` so repeated batch shapes price in
+dictionary-lookup time); both paths share the
 :class:`~repro.arch.interconnect.InterconnectModel` for ciphertext and
 BSK/KSK key-shipping traffic, and every dispatch funnels its targets
 through the cluster's :class:`~repro.arch.key_cache.KeyResidencyManager`,
@@ -40,13 +42,14 @@ from repro.arch.key_cache import KeyEvictionPolicy, KeyResidencyManager
 from repro.params import TFHEParameters
 from repro.runtime.result import RunResult
 from repro.runtime.workload import WorkloadLike, resolve_params
-from repro.sched.cost import CostModel, get_cost_model
+from repro.sched.cost import CostModel, EventDrivenCostModel, get_cost_model
 from repro.sched.layouts import (
     DeviceShardResult,
     Dispatch,
     PlacementLayout,
     get_layout,
 )
+from repro.sched.memo import DEFAULT_COST_CACHE_CAPACITY, ScheduleCache
 from repro.serve.batcher import Batch
 from repro.serve.sharding import ShardingPolicy, get_policy
 from repro.sim.scheduler import StrixScheduler
@@ -103,6 +106,7 @@ class StrixCluster:
         cost_model: str | CostModel = "analytical",
         key_budget_bytes: float | None = None,
         key_policy: "str | KeyEvictionPolicy | None" = None,
+        cost_cache_capacity: int | None = None,
     ):
         """Build ``N`` identical simulated devices behind one layout.
 
@@ -116,6 +120,17 @@ class StrixCluster:
         :class:`~repro.arch.key_cache.KeyEvictionPolicy` instance — e.g. a
         :class:`~repro.arch.key_cache.PinnedTenantPolicy` with a pinned
         set — passes straight through to the residency manager instead.
+
+        ``cost_cache_capacity`` sizes the schedule cache the event-driven
+        cost model is wrapped in (memoized batch pricing is bit-for-bit
+        identical, so ``cost_model="event"`` gets the cache by default):
+        ``None`` uses :data:`~repro.sched.memo.DEFAULT_COST_CACHE_CAPACITY`,
+        ``0`` disables memoization, any other value bounds the LRU.  A
+        pre-built :class:`~repro.sched.memo.ScheduleCache` instance passed
+        as ``cost_model`` is used as-is when ``cost_cache_capacity`` is
+        unspecified; an explicit capacity re-sizes it (fresh cache around
+        the same inner model) and ``0`` unwraps it — the knob always wins,
+        including on the backend's per-call reshape path.
         """
         if config is None:
             config = StrixClusterConfig(
@@ -141,6 +156,27 @@ class StrixCluster:
         self.policy = get_policy(policy)
         self.layout = get_layout(layout)
         self.cost_model = get_cost_model(cost_model)
+        if isinstance(self.cost_model, ScheduleCache):
+            if cost_cache_capacity == 0:
+                self.cost_model = self.cost_model.inner
+            elif (
+                cost_cache_capacity is not None
+                and cost_cache_capacity != self.cost_model.capacity
+            ):
+                self.cost_model = ScheduleCache(
+                    self.cost_model.inner, capacity=cost_cache_capacity
+                )
+        elif cost_cache_capacity != 0 and isinstance(
+            self.cost_model, EventDrivenCostModel
+        ):
+            self.cost_model = ScheduleCache(
+                self.cost_model,
+                capacity=(
+                    cost_cache_capacity
+                    if cost_cache_capacity is not None
+                    else DEFAULT_COST_CACHE_CAPACITY
+                ),
+            )
         self.interconnect = InterconnectModel(config)
         self.key_residency = KeyResidencyManager(
             devices=config.devices,
@@ -218,12 +254,13 @@ class StrixCluster:
 
     def reset_serving_state(self) -> None:
         """Clear every device's busy horizon and counters (and policy,
-        layout and key-residency state), so repeated simulations on one
-        cluster are deterministic."""
+        layout, cost-model and key-residency state), so repeated
+        simulations on one cluster are deterministic."""
         for device in self.devices:
             device.reset_serving_state()
         self.policy.reset()
         self.layout.reset()
+        self.cost_model.reset()
         self.key_residency.reset()
 
     @property
@@ -231,6 +268,12 @@ class StrixCluster:
         """Key-residency counters of the current simulation (see
         :class:`~repro.arch.key_cache.KeyCacheStats`)."""
         return self.key_residency.stats.to_dict()
+
+    @property
+    def cost_cache_stats(self) -> dict[str, int]:
+        """Schedule-cache counters of the cost model (empty when the model
+        doesn't memoize — e.g. the analytical default)."""
+        return self.cost_model.cache_stats
 
     def device_utilization(self, horizon_s: float) -> dict[str, float]:
         """Busy fraction of every device over a serving horizon."""

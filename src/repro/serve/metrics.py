@@ -91,6 +91,10 @@ class ServeMetrics:
     #: Stage-plan cache counters (hits / misses / entries) when the layout
     #: plans stages (the pipeline layout); empty otherwise.
     stage_plan_cache: dict[str, int] = field(default_factory=dict)
+    #: Schedule-cache counters (hits / misses / evictions / entries) when
+    #: the cost model memoizes (the event model's
+    #: :class:`~repro.sched.memo.ScheduleCache`); empty otherwise.
+    cost_cache: dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable snapshot (what ``BENCH_serve.json`` records)."""
@@ -114,6 +118,7 @@ class ServeMetrics:
             "cost_breakdown": dict(self.cost_breakdown),
             "key_cache": dict(self.key_cache),
             "stage_plan_cache": dict(self.stage_plan_cache),
+            "cost_cache": dict(self.cost_cache),
         }
 
     def render(self) -> str:
@@ -163,6 +168,13 @@ class ServeMetrics:
                 f"plans:    {plans.get('hits', 0)} cache hits, "
                 f"{plans.get('misses', 0)} partitions"
             )
+        if self.cost_cache.get("hits") or self.cost_cache.get("misses"):
+            costs = self.cost_cache
+            lines.append(
+                f"schedules: {costs.get('hits', 0)} cache hits, "
+                f"{costs.get('misses', 0)} simulations, "
+                f"{costs.get('evictions', 0)} evictions"
+            )
         return "\n".join(lines)
 
 
@@ -209,12 +221,14 @@ class MetricsCollector:
         device_utilization: dict[str, float],
         key_cache: dict[str, int] | None = None,
         stage_plan_cache: dict[str, int] | None = None,
+        cost_cache: dict[str, int] | None = None,
     ) -> ServeMetrics:
         """Fold the observations into one :class:`ServeMetrics`.
 
-        ``key_cache`` / ``stage_plan_cache`` are end-of-run counter
-        snapshots (read from the cluster's residency manager and the
-        layout) rather than accumulated per-batch observations.
+        ``key_cache`` / ``stage_plan_cache`` / ``cost_cache`` are
+        end-of-run counter snapshots (read from the cluster's residency
+        manager, the layout and the cost model) rather than accumulated
+        per-batch observations.
         """
         latencies = [outcome.latency_s for outcome in self.outcomes]
         delays = [outcome.queue_delay_s for outcome in self.outcomes]
@@ -252,4 +266,5 @@ class MetricsCollector:
             cost_breakdown=dict(self._cost_breakdown),
             key_cache=dict(key_cache or {}),
             stage_plan_cache=dict(stage_plan_cache or {}),
+            cost_cache=dict(cost_cache or {}),
         )

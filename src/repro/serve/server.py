@@ -65,6 +65,13 @@ class ServeConfig:
         :class:`~repro.sched.cost.CostModel` instance — ``"event"`` runs
         the cycle-level scheduler on every batch's real graph, so keyswitch
         overlap and epoch fragmentation show up in serving latency.
+    cost_cache_capacity:
+        Entries of the schedule cache wrapping ``cost_model="event"``
+        (memoized pricing is bit-for-bit identical, so the cache is on by
+        default).  ``None`` uses
+        :data:`~repro.sched.memo.DEFAULT_COST_CACHE_CAPACITY`, ``0``
+        disables memoization; the report's ``cost_cache`` counters surface
+        hits/misses/evictions.  See ``docs/performance.md``.
     key_budget_bytes:
         Per-device HBM budget for resident tenant key sets; ``None``
         (default) is unbounded — no eviction, the historical behaviour.
@@ -103,6 +110,7 @@ class ServeConfig:
     policy: str | ShardingPolicy = "least-loaded"
     layout: str | PlacementLayout = "data-parallel"
     cost_model: str | CostModel = "analytical"
+    cost_cache_capacity: int | None = None
     key_budget_bytes: float | None = None
     key_policy: "str | KeyEvictionPolicy | None" = None
     qos: str = "fifo"
@@ -174,6 +182,7 @@ class Server:
             config=config.cluster,
             layout=config.layout,
             cost_model=config.cost_model,
+            cost_cache_capacity=config.cost_cache_capacity,
             key_budget_bytes=config.key_budget_bytes,
             key_policy=config.key_policy,
         )
@@ -326,6 +335,7 @@ class Server:
             device_utilization=self.cluster.device_utilization(horizon),
             key_cache=self.cluster.key_cache_stats,
             stage_plan_cache=self.cluster.layout.plan_cache_stats,
+            cost_cache=self.cluster.cost_cache_stats,
         )
         return ServeReport(
             label=label,
@@ -499,6 +509,7 @@ class Server:
                         device_utilization=self.cluster.device_utilization(horizon),
                         key_cache=self.cluster.key_cache_stats,
                         stage_plan_cache=self.cluster.layout.plan_cache_stats,
+                        cost_cache=self.cluster.cost_cache_stats,
                     ),
                     outcomes=list(metrics.outcomes),
                 )

@@ -108,9 +108,7 @@ class Netlist:
         execution; the performance models use ``cost`` alone.
         """
         if coefficients is not None and len(coefficients) != len(inputs):
-            raise ValueError(
-                f"expected {len(inputs)} coefficients, got {len(coefficients)}"
-            )
+            raise ValueError(f"expected {len(inputs)} coefficients, got {len(coefficients)}")
         return self._add(
             Operation(
                 "linear",

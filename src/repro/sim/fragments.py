@@ -33,9 +33,7 @@ def blind_rotation_fragments(ciphertexts: int, batch_size: int) -> int:
     return math.ceil(ciphertexts / batch_size) - 1
 
 
-def fragmented_execution_time(
-    ciphertexts: int, batch_size: int, time_per_fragment: float
-) -> float:
+def fragmented_execution_time(ciphertexts: int, batch_size: int, time_per_fragment: float) -> float:
     """Total blind-rotation time under fragmentation (Eq. 1)."""
     if ciphertexts == 0:
         return 0.0
@@ -78,6 +76,4 @@ def plan_fragments(ciphertexts: int, batch_size: int) -> FragmentPlan:
         take = min(remaining, batch_size)
         sizes.append(take)
         remaining -= take
-    return FragmentPlan(
-        ciphertexts=ciphertexts, batch_size=batch_size, fragment_sizes=tuple(sizes)
-    )
+    return FragmentPlan(ciphertexts=ciphertexts, batch_size=batch_size, fragment_sizes=tuple(sizes))

@@ -82,9 +82,7 @@ class ComputationGraph:
             raise ValueError(f"duplicate node name {node.name!r}")
         for dependency in node.depends_on:
             if dependency not in self._nodes:
-                raise ValueError(
-                    f"node {node.name!r} depends on unknown node {dependency!r}"
-                )
+                raise ValueError(f"node {node.name!r} depends on unknown node {dependency!r}")
         self._nodes[node.name] = node
         return node
 

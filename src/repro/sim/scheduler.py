@@ -61,6 +61,23 @@ class ScheduleResult:
         return self.total_pbs / self.total_time_s
 
 
+@dataclass(frozen=True)
+class _HotPathConstants:
+    """Loop invariants of the epoch-scheduling hot path for one parameter set.
+
+    Every field is a pure function of ``(params, config)``; hoisting them
+    out of the per-node / per-epoch / per-core loops (and memoizing them per
+    parameter set) changes no arithmetic — the same values feed the same
+    expressions — so schedules stay bit-for-bit identical.
+    """
+
+    epoch_capacity: int
+    iteration_latency_cycles: int
+    initiation_interval: int
+    keyswitch_cycles: int
+    clock_hz: float
+
+
 class StrixScheduler:
     """Maps computation graphs onto a :class:`StrixAccelerator`."""
 
@@ -72,6 +89,8 @@ class StrixScheduler:
     def __init__(self, accelerator: StrixAccelerator):
         self.accelerator = accelerator
         self.config = accelerator.config
+        self._linear_macs_per_second = self.linear_macs_per_second(self.config)
+        self._constants: dict[TFHEParameters, _HotPathConstants] = {}
 
     @classmethod
     def linear_macs_per_second(cls, config) -> float:
@@ -134,11 +153,30 @@ class StrixScheduler:
 
     # -- internals -------------------------------------------------------------
 
+    def _hot_path_constants(self, params: TFHEParameters) -> _HotPathConstants:
+        """The per-parameter-set loop invariants (computed once, memoized)."""
+        constants = self._constants.get(params)
+        if constants is None:
+            accelerator = self.accelerator
+            constants = _HotPathConstants(
+                epoch_capacity=(
+                    self.config.tvlp * accelerator.core.core_batch_size(params)
+                ),
+                iteration_latency_cycles=accelerator.iteration_latency_cycles(params),
+                initiation_interval=(
+                    accelerator.pipeline_timing(params).initiation_interval
+                ),
+                keyswitch_cycles=accelerator.core.keyswitch_cycles(params),
+                clock_hz=self.config.clock_hz,
+            )
+            self._constants[params] = constants
+        return constants
+
     def _schedule_linear(
         self, engine: SimulationEngine, node: ComputationNode, ready: float
     ) -> tuple[float, int]:
         operations = node.ciphertexts * max(node.operations_per_ciphertext, 1)
-        duration = operations / self.linear_macs_per_second(self.config)
+        duration = operations / self._linear_macs_per_second
         entry = engine.schedule_activity("linear", duration, ready, label=node.name)
         return entry.end, 0
 
@@ -149,10 +187,16 @@ class StrixScheduler:
         params: TFHEParameters,
         ready: float,
     ) -> tuple[float, int]:
+        # Everything that depends only on (params, config) — pipeline timing,
+        # iteration latency, keyswitch cost, epoch capacity, the clock — is
+        # hoisted out of the epoch/core loops below; `plan_epoch` is memoized
+        # on the accelerator.  Same expressions, same values: schedules are
+        # bit-for-bit identical to the unhoisted ones.
         accelerator = self.accelerator
-        core_batch = accelerator.core.core_batch_size(params)
-        epoch_capacity = self.config.tvlp * core_batch
-        plan = plan_fragments(node.ciphertexts, epoch_capacity)
+        hot = self._hot_path_constants(params)
+        plan = plan_fragments(node.ciphertexts, hot.epoch_capacity)
+        wants_keyswitch = node.kind in (NodeKind.PBS_KS, NodeKind.KEYSWITCH)
+        n = params.n
 
         node_end = ready
         for epoch_index, epoch_lwes in enumerate(plan.fragment_sizes):
@@ -162,11 +206,10 @@ class StrixScheduler:
                 if core_lwes == 0:
                     continue
                 if core_lwes == 1:
-                    cycles = params.n * accelerator.iteration_latency_cycles(params)
+                    cycles = n * hot.iteration_latency_cycles
                 else:
-                    timing = accelerator.pipeline_timing(params)
-                    cycles = params.n * core_lwes * timing.initiation_interval
-                duration = self.config.cycles_to_seconds(cycles)
+                    cycles = n * core_lwes * hot.initiation_interval
+                duration = cycles / hot.clock_hz
                 entry = engine.schedule_activity(
                     f"hsc{core_index}",
                     duration,
@@ -175,9 +218,9 @@ class StrixScheduler:
                 )
                 epoch_end = max(epoch_end, entry.end)
 
-            if node.kind in (NodeKind.PBS_KS, NodeKind.KEYSWITCH):
-                ks_cycles = max(epoch_plan.lwes_per_core) * accelerator.core.keyswitch_cycles(params)
-                ks_duration = self.config.cycles_to_seconds(ks_cycles)
+            if wants_keyswitch:
+                ks_cycles = max(epoch_plan.lwes_per_core) * hot.keyswitch_cycles
+                ks_duration = ks_cycles / hot.clock_hz
                 ks_entry = engine.schedule_activity(
                     "keyswitch",
                     ks_duration,

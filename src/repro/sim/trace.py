@@ -105,9 +105,7 @@ def build_occupancy_trace(
         * accelerator.config.bsk_channels
         / 16.0
     )
-    fetch_cycles = int(
-        fragment_bytes / (bsk_bandwidth_gbps * 1e9) * accelerator.config.clock_hz
-    )
+    fetch_cycles = int(fragment_bytes / (bsk_bandwidth_gbps * 1e9) * accelerator.config.clock_hz)
     iteration_span = lwes_per_core * timing.initiation_interval
     hbm_intervals = [
         BusyInterval(
@@ -141,9 +139,7 @@ def _utilization(intervals: list[BusyInterval]) -> dict[str, float]:
     window = max(horizon - start, 1)
     by_unit: dict[str, list[tuple[int, int]]] = {}
     for interval in intervals:
-        by_unit.setdefault(interval.unit, []).append(
-            (interval.start_cycle, interval.end_cycle)
-        )
+        by_unit.setdefault(interval.unit, []).append((interval.start_cycle, interval.end_cycle))
     utilization = {}
     for unit, spans in by_unit.items():
         spans.sort()

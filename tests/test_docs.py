@@ -30,8 +30,13 @@ SNIPPETS = list(all_snippets())
 
 def test_docs_exist_and_carry_snippets():
     names = {path.name for path in DOCS.glob("*.md")}
-    assert {"serving.md", "cost_models.md", "key_memory.md"} <= names
-    assert len(SNIPPETS) >= 10
+    assert {
+        "serving.md",
+        "cost_models.md",
+        "key_memory.md",
+        "performance.md",
+    } <= names
+    assert len(SNIPPETS) >= 13
 
 
 @pytest.mark.parametrize(
