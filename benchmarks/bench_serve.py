@@ -23,7 +23,11 @@ Writes ``BENCH_serve.json`` with two families of records:
   simulation per batch) versus warm (every shape priced once, then
   dictionary lookups): wall clock, speedup, warm batches/s and the
   deterministic hit-rate/p99 records proving outputs are bit-for-bit
-  unchanged.
+  unchanged;
+* ``net/...`` — the wire front-end: deterministic proof that a trace
+  replayed over loopback TCP is bit-for-bit the in-process simulation
+  (plus framing bytes/frames per request), and timed client round-trip
+  percentiles / wire throughput of a closed loop over 8 connections.
 
 Run it directly (``--smoke`` shrinks the traces for CI)::
 
@@ -33,6 +37,7 @@ Run it directly (``--smoke`` shrinks the traces for CI)::
 from __future__ import annotations
 
 import argparse
+import time
 
 from harness import BenchReport, ensure_repro_importable
 
@@ -40,6 +45,7 @@ ensure_repro_importable()
 
 from repro import run  # noqa: E402  (path bootstrap above)
 from repro.apps.traffic import bursty_trace, heavy_tail_trace, steady_trace  # noqa: E402
+from repro.net.loadgen import closed_loop, replay_trace  # noqa: E402
 from repro.serve import Request, Server  # noqa: E402
 
 #: The Fig. 7 application workload the cluster scaling study runs.
@@ -332,6 +338,65 @@ def bench_cost_cache(report: BenchReport, duration_s: float, seed: int) -> None:
     print()
 
 
+def bench_net(report: BenchReport, duration_s: float, seed: int) -> None:
+    """The wire front-end: loopback replay fidelity plus live round trips.
+
+    Deterministic records prove the transport does not change the model —
+    the replayed-over-TCP outcomes are bit-for-bit the in-process ones, and
+    the framing cost per request is a fixed byte count.  Timed records
+    capture what only a socket can show: measured client round-trip
+    percentiles, wire throughput of a closed loop over 8 connections, and
+    the wall-clock overhead of serving through the loopback transport.
+    """
+    trace = steady_trace(rate_rps=1500.0, duration_s=duration_s, seed=seed)
+    requests = len(trace)
+    started = time.perf_counter()
+    in_process = Server(devices=4, policy="least-loaded", params="I").simulate(
+        list(trace), label="net-replay"
+    )
+    sim_s = time.perf_counter() - started
+    started = time.perf_counter()
+    wire = replay_trace(
+        trace, devices=4, policy="least-loaded", params="I", label="net-replay"
+    )
+    wire_s = time.perf_counter() - started
+    identical = (
+        wire.outcomes == in_process.outcomes and wire.metrics == in_process.metrics
+    )
+    report.add("net/replay/bit_for_bit", 1.0 if identical else 0.0, "bool")
+    report.add("net/replay/p99_latency", wire.metrics.latency.p99_s, "s")
+    wire_bytes = wire.wire["bytes_received"] + wire.wire["bytes_sent"]
+    wire_frames = wire.wire["frames_received"] + wire.wire["frames_sent"]
+    report.add("net/replay/wire_bytes_per_request", wire_bytes / requests, "B/req")
+    report.add("net/replay/frames_per_request", wire_frames / requests, "frames/req")
+    report.add(
+        "net/replay/transport_overhead",
+        wire_s / sim_s if sim_s > 0 else 1.0,
+        "x",
+        timed=True,
+    )
+    live = closed_loop(
+        trace, connections=8, devices=4, policy="least-loaded", params="I"
+    )
+    report.add("net/live/rtt_p50", live.wire["rtt_p50_ms"] / 1e3, "s", timed=True)
+    report.add("net/live/rtt_p99", live.wire["rtt_p99_ms"] / 1e3, "s", timed=True)
+    report.add(
+        "net/live/requests_per_s",
+        live.wire["wire_requests_per_s"],
+        "req/s",
+        timed=True,
+        connections=live.wire["connections"],
+    )
+    print(wire.render())
+    print(live.render())
+    print(
+        f"net replay: bit-for-bit={'yes' if identical else 'NO'}, "
+        f"{wire_bytes / requests:.0f} B/req on the wire, "
+        f"transport overhead {wire_s / sim_s:.1f}x"
+    )
+    print()
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -352,6 +417,7 @@ def main() -> None:
     bench_key_memory(report, duration_s, args.seed)
     bench_stage_plan_cache(report, duration_s, args.seed)
     bench_cost_cache(report, duration_s, args.seed)
+    bench_net(report, duration_s, args.seed)
     path = report.write(args.output)
     print(f"[saved {len(report.records)} records to {path}]")
 

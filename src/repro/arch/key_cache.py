@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from repro.arch.config import StrixConfig
 from repro.errors import UnknownKeyPolicyError
@@ -183,23 +183,45 @@ class PinnedTenantPolicy(LRUEvictionPolicy):
 
     The operator's tool for latency-SLA customers: a pinned tenant's keys,
     once shipped, stay resident no matter how hard the rest of the
-    population churns.  With nothing pinned the policy degenerates to plain
-    LRU, and when *every* eviction candidate is pinned the device simply
-    overcommits (see :meth:`KeyResidencyManager.place`).
+    population churns.  Pins come in two granularities:
+
+    * a flat iterable of tenants pins them on *every* device (the
+      historical form);
+    * a ``{device_id: {tenants}}`` mapping pins each set only on its device
+      — the shape an operator uses to reserve one device's key memory for a
+      premium tenant while the rest of the cluster still evicts them.
+
+    With nothing pinned the policy degenerates to plain LRU, and when
+    *every* eviction candidate is pinned the device simply overcommits (see
+    :meth:`KeyResidencyManager.place`).
     """
 
     name = "pinned"
 
-    def __init__(self, pinned: Iterable[str] = ()) -> None:
+    def __init__(self, pinned: "Iterable[str] | Mapping[int, Iterable[str]]" = ()) -> None:
         super().__init__()
-        self.pinned = frozenset(pinned)
+        if isinstance(pinned, Mapping):
+            self.pinned = frozenset()
+            self.device_pins = {
+                int(device): frozenset(tenants) for device, tenants in pinned.items()
+            }
+        else:
+            self.pinned = frozenset(pinned)
+            self.device_pins: dict[int, frozenset[str]] = {}
 
-    def pin(self, tenant: str) -> None:
-        """Pin one more tenant (protects residency from this point on)."""
-        self.pinned = self.pinned | {tenant}
+    def pin(self, tenant: str, device: int | None = None) -> None:
+        """Pin one more tenant — everywhere, or on one device only."""
+        if device is None:
+            self.pinned = self.pinned | {tenant}
+        else:
+            self.device_pins[device] = self.device_pins.get(device, frozenset()) | {tenant}
+
+    def is_pinned(self, device: int, tenant: str) -> bool:
+        """Whether the tenant's keys are protected on this device."""
+        return tenant in self.pinned or tenant in self.device_pins.get(device, frozenset())
 
     def victim(self, device: int, candidates: Iterable[str]) -> str | None:
-        unpinned = [tenant for tenant in candidates if tenant not in self.pinned]
+        unpinned = [tenant for tenant in candidates if not self.is_pinned(device, tenant)]
         return super().victim(device, unpinned)
 
 

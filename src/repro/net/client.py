@@ -1,0 +1,384 @@
+"""Client libraries for the serving front-end: async-first, with a sync twin.
+
+:class:`AsyncNetClient` is the real client: one connection, a background
+reader task, and any number of in-flight submissions multiplexed by request
+id.  ``await client.submit(...)`` is the closed-loop call — it returns the
+:class:`~repro.serve.request.RequestOutcome` when the server's ``RESULT``
+frame lands and records the round-trip time of every such call.
+``submit_nowait`` is the streaming variant trace replay needs: it returns a
+future immediately so a whole trace can be pushed down the pipe before the
+first result comes back.
+
+:class:`NetClient` is the blocking wrapper for scripts and docs: plain
+sockets, one outstanding request at a time, no event loop required.
+
+Typed ``ERROR`` replies surface as :class:`NetError` — carrying the decoded
+:class:`~repro.net.protocol.ErrorReply` — never as silently dropped
+connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from typing import Any
+
+from repro.net import codec, protocol
+from repro.net.codec import ResultMessage
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    ErrorReply,
+    Frame,
+    FrameDecoder,
+    MessageType,
+    Pong,
+    ProtocolError,
+)
+from repro.serve.request import Request, RequestOutcome
+
+
+class NetError(Exception):
+    """A typed ``ERROR`` reply from the server."""
+
+    def __init__(self, reply: ErrorReply):
+        super().__init__(f"{reply.code_name}: {reply.message}")
+        self.reply = reply
+
+
+class AsyncNetClient:
+    """One connection to a :class:`~repro.net.server.NetServer`.
+
+    Build with :meth:`connect`, which performs the HELLO/WELCOME version
+    negotiation before returning.  Every ``submit`` / ``ping`` round trip
+    is timed; :attr:`rtts_s` and :attr:`ping_rtts_s` accumulate the
+    samples the load generator turns into wire-level percentiles.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder()
+        self._write_lock = asyncio.Lock()
+        self._next_id = 0
+        self._next_nonce = 0
+        #: request id -> (submitted request, send time, outcome future)
+        self._pending: dict[int, tuple[Request, float, asyncio.Future]] = {}
+        self._pings: dict[int, tuple[float, asyncio.Future]] = {}
+        self._hello: asyncio.Future | None = None
+        self._drained: asyncio.Future | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._closed = False
+        self.negotiated_version: int | None = None
+        #: Round-trip seconds of every awaited ``submit`` call.
+        self.rtts_s: list[float] = []
+        #: Round-trip seconds of every ``ping`` call.
+        self.ping_rtts_s: list[float] = []
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        versions: tuple[int, ...] = (PROTOCOL_VERSION,),
+    ) -> "AsyncNetClient":
+        """Open a connection and negotiate a protocol version."""
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer)
+        client._reader_task = asyncio.get_running_loop().create_task(client._read_loop())
+        loop = asyncio.get_running_loop()
+        client._hello = loop.create_future()
+        await client._send(MessageType.HELLO, protocol.encode_hello(versions))
+        client.negotiated_version = await client._hello
+        return client
+
+    # -- requests ----------------------------------------------------------------
+
+    async def submit(
+        self,
+        tenant: str,
+        kind: str,
+        items: int = 1,
+        model: str | None = None,
+        ciphertexts: Any = None,
+    ) -> RequestOutcome:
+        """Submit live work and wait for its outcome (round trip is timed)."""
+        self._next_id += 1
+        request = Request.make(self._next_id, tenant, kind, items, model=model)
+        payload = codec.encode_submit(
+            request.request_id,
+            tenant,
+            request.kind.value,
+            items,
+            model=model,
+            ciphertexts=ciphertexts,
+        )
+        future = await self._send_submit(request, payload)
+        return await future
+
+    async def submit_request(self, request: Request) -> RequestOutcome:
+        """Submit an existing request (timestamps included) and await it."""
+        future = self.submit_nowait(request)
+        return await future
+
+    def submit_nowait(self, request: Request) -> asyncio.Future:
+        """Send a trace request without waiting; returns the outcome future.
+
+        This is the replay primitive: the whole trace streams down the
+        connection in arrival order while results flow back as the server's
+        batcher releases them.
+        """
+        payload = codec.submit_from_request(request, with_arrival=True)
+        future = self._register(request)
+        data = protocol.encode_frame(MessageType.SUBMIT, payload)
+        self._write_raw(data)
+        return future
+
+    async def _send_submit(self, request: Request, payload: bytes) -> asyncio.Future:
+        future = self._register(request)
+        await self._send(MessageType.SUBMIT, payload)
+        return future
+
+    def _register(self, request: Request) -> asyncio.Future:
+        if self._closed:
+            raise ConnectionError("the client is closed")
+        if request.request_id in self._pending:
+            raise ValueError(f"request id {request.request_id} is already in flight")
+        self._next_id = max(self._next_id, request.request_id)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request.request_id] = (request, time.perf_counter(), future)
+        return future
+
+    async def ping(self) -> Pong:
+        """Round-trip latency echo; the RTT lands in :attr:`ping_rtts_s`."""
+        self._next_nonce += 1
+        nonce = self._next_nonce
+        sent_at = time.perf_counter()
+        future = asyncio.get_running_loop().create_future()
+        self._pings[nonce] = (sent_at, future)
+        await self._send(MessageType.PING, protocol.encode_ping(nonce, sent_at))
+        return await future
+
+    async def drain(self) -> None:
+        """Ask the server to flush everything batched; returns on ``DRAINED``."""
+        self._drained = asyncio.get_running_loop().create_future()
+        await self._send(MessageType.DRAIN, b"")
+        await self._drained
+
+    async def close(self) -> None:
+        """Close the connection and stop the reader task."""
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        self._fail_pending(ConnectionError("connection closed"))
+
+    async def __aenter__(self) -> "AsyncNetClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # -- transport ---------------------------------------------------------------
+
+    async def _send(self, msg_type: MessageType, payload: bytes) -> None:
+        data = protocol.encode_frame(msg_type, payload)
+        async with self._write_lock:
+            self._write_raw(data)
+            await self._writer.drain()
+
+    def _write_raw(self, data: bytes) -> None:
+        if self._closed:
+            raise ConnectionError("the client is closed")
+        self._writer.write(data)
+        self.frames_sent += 1
+        self.bytes_sent += len(data)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                data = await self._reader.read(64 * 1024)
+                if not data:
+                    self._fail_pending(ConnectionError("server closed the connection"))
+                    return
+                self.bytes_received += len(data)
+                for event in self._decoder.feed(data):
+                    if isinstance(event, ProtocolError):
+                        self._fail_pending(event)
+                        if event.fatal:
+                            return
+                    else:
+                        self.frames_received += 1
+                        self._handle_frame(event)
+        except (ConnectionResetError, BrokenPipeError):
+            self._fail_pending(ConnectionError("connection lost"))
+        except asyncio.CancelledError:
+            raise
+
+    def _handle_frame(self, frame: Frame) -> None:
+        msg_type = frame.msg_type
+        if msg_type == MessageType.RESULT:
+            self._handle_result(codec.decode_result(frame.payload))
+        elif msg_type == MessageType.ERROR:
+            self._handle_error(protocol.decode_error(frame.payload))
+        elif msg_type == MessageType.WELCOME:
+            if self._hello is not None and not self._hello.done():
+                self._hello.set_result(protocol.decode_welcome(frame.payload))
+        elif msg_type == MessageType.PONG:
+            pong = protocol.decode_pong(frame.payload)
+            entry = self._pings.pop(pong.nonce, None)
+            if entry is not None:
+                sent_at, future = entry
+                self.ping_rtts_s.append(time.perf_counter() - sent_at)
+                if not future.done():
+                    future.set_result(pong)
+        elif msg_type == MessageType.DRAINED:
+            if self._drained is not None and not self._drained.done():
+                self._drained.set_result(None)
+
+    def _handle_result(self, message: ResultMessage) -> None:
+        entry = self._pending.pop(message.request_id, None)
+        if entry is None:
+            return
+        request, sent_at, future = entry
+        self.rtts_s.append(time.perf_counter() - sent_at)
+        if not future.done():
+            future.set_result(message.to_outcome(request))
+
+    def _handle_error(self, reply: ErrorReply) -> None:
+        error = NetError(reply)
+        if reply.request_id:
+            entry = self._pending.pop(reply.request_id, None)
+            if entry is not None:
+                _, _, future = entry
+                if not future.done():
+                    future.set_exception(error)
+                return
+        if self._hello is not None and not self._hello.done():
+            self._hello.set_exception(error)
+            return
+        self._fail_pending(error)
+
+    def _fail_pending(self, error: Exception) -> None:
+        for _, _, future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+        for _, future in self._pings.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pings.clear()
+        for waiter in (self._hello, self._drained):
+            if waiter is not None and not waiter.done():
+                waiter.set_exception(error)
+
+
+class NetClient:
+    """Blocking client: plain sockets, one outstanding request at a time.
+
+    The simple face of the protocol for scripts and documentation —
+    ``connect``, ``submit``, ``ping``, ``close`` — with the same typed
+    :class:`NetError` failures as the async client.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        versions: tuple[int, ...] = (PROTOCOL_VERSION,),
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._decoder = FrameDecoder()
+        self._frames: list[Frame] = []
+        self._next_id = 0
+        self._next_nonce = 0
+        self._closed = False
+        #: Round-trip seconds of every ``submit`` and ``ping`` call.
+        self.rtts_s: list[float] = []
+        self._send(MessageType.HELLO, protocol.encode_hello(versions))
+        welcome = self._expect(MessageType.WELCOME)
+        self.negotiated_version = protocol.decode_welcome(welcome.payload)
+
+    def submit(
+        self,
+        tenant: str,
+        kind: str,
+        items: int = 1,
+        model: str | None = None,
+        ciphertexts: Any = None,
+    ) -> RequestOutcome:
+        """Submit live work and block until its outcome arrives."""
+        self._next_id += 1
+        request = Request.make(self._next_id, tenant, kind, items, model=model)
+        payload = codec.encode_submit(
+            request.request_id, tenant, request.kind.value, items,
+            model=model, ciphertexts=ciphertexts,
+        )
+        started = time.perf_counter()
+        self._send(MessageType.SUBMIT, payload)
+        frame = self._expect(MessageType.RESULT)
+        self.rtts_s.append(time.perf_counter() - started)
+        return codec.decode_result(frame.payload).to_outcome(request)
+
+    def ping(self) -> float:
+        """One latency echo; returns the round-trip time in seconds."""
+        self._next_nonce += 1
+        started = time.perf_counter()
+        self._send(MessageType.PING, protocol.encode_ping(self._next_nonce, started))
+        self._expect(MessageType.PONG)
+        rtt = time.perf_counter() - started
+        self.rtts_s.append(rtt)
+        return rtt
+
+    def close(self) -> None:
+        """Close the socket."""
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- transport ---------------------------------------------------------------
+
+    def _send(self, msg_type: MessageType, payload: bytes) -> None:
+        self._sock.sendall(protocol.encode_frame(msg_type, payload))
+
+    def _expect(self, msg_type: MessageType) -> Frame:
+        while True:
+            frame = self._next_frame()
+            if frame.msg_type == MessageType.ERROR:
+                raise NetError(protocol.decode_error(frame.payload))
+            if frame.msg_type == msg_type:
+                return frame
+            # Any other frame (e.g. a stray PONG) is skipped.
+
+    def _next_frame(self) -> Frame:
+        while True:
+            if self._frames:
+                return self._frames.pop(0)
+            data = self._sock.recv(64 * 1024)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            for event in self._decoder.feed(data):
+                if isinstance(event, ProtocolError):
+                    raise event
+                self._frames.append(event)

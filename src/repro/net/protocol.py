@@ -1,0 +1,359 @@
+"""The wire protocol: versioned, length-prefixed, checksummed binary frames.
+
+Every message between a client and the serving front-end travels in one
+*frame*::
+
+    0        4      5      6        8          12         16
+    +--------+------+------+--------+----------+----------+=========+
+    | magic  | ver  | type | flags  | length   | crc32    | payload |
+    | "RFHE" | u8   | u8   | u16=0  | u32      | u32      | bytes   |
+    +--------+------+------+--------+----------+----------+=========+
+
+``length`` counts payload bytes only; ``crc32`` is the zlib CRC-32 of the
+payload, so a flipped bit anywhere in the body is caught before the payload
+is parsed.  The header is fixed-size and network byte order throughout.
+
+Everything in this module is a pure function over ``bytes`` — framing,
+message payloads and the incremental :class:`FrameDecoder` are all testable
+without ever opening a socket; :mod:`repro.net.server` and
+:mod:`repro.net.client` only add transport.
+
+Message types
+-------------
+
+* ``HELLO`` / ``WELCOME`` — version negotiation: the client lists every
+  protocol version it speaks, the server answers with the one it picked
+  (or an ``ERROR`` with :attr:`ErrorCode.UNSUPPORTED_VERSION`).
+* ``SUBMIT`` / ``RESULT`` — one serving request and its outcome (payload
+  codecs live in :mod:`repro.net.codec`, which reuses the bytes-level LWE
+  codecs of :mod:`repro.tfhe.serialization`).
+* ``ERROR`` — a typed failure reply; carries the request id it answers
+  when one exists, zero otherwise.
+* ``PING`` / ``PONG`` — latency echo: the pong returns the ping's nonce
+  and client timestamp untouched plus the server's own clock.
+* ``DRAIN`` / ``DRAINED`` — flush everything still batched (trace replay
+  uses it to terminate deterministically; ``DRAINED`` confirms all results
+  are out).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+import zlib
+from dataclasses import dataclass
+
+#: Leading bytes of every frame.
+MAGIC = b"RFHE"
+
+#: The protocol version this tree speaks.
+PROTOCOL_VERSION = 1
+
+#: Versions the server accepts (today a singleton; the HELLO/WELCOME
+#: exchange exists so a future version 2 can coexist with 1).
+SUPPORTED_VERSIONS = frozenset({PROTOCOL_VERSION})
+
+#: Hard cap on payload size: a declared length past this is treated as a
+#: corrupt header (desynchronized stream), not an allocation request.
+MAX_PAYLOAD_BYTES = 16 * 1024 * 1024
+
+#: Frame header: magic, version, message type, reserved flags, payload
+#: length, payload CRC-32.
+HEADER = struct.Struct("!4sBBHII")
+
+
+class MessageType(enum.IntEnum):
+    """Wire identifiers of every message the protocol speaks."""
+
+    HELLO = 1
+    WELCOME = 2
+    SUBMIT = 3
+    RESULT = 4
+    ERROR = 5
+    PING = 6
+    PONG = 7
+    DRAIN = 8
+    DRAINED = 9
+
+
+class ErrorCode(enum.IntEnum):
+    """Typed failure classes an ``ERROR`` frame carries."""
+
+    BAD_MAGIC = 1
+    BAD_CHECKSUM = 2
+    TRUNCATED = 3
+    UNSUPPORTED_VERSION = 4
+    UNKNOWN_TYPE = 5
+    BAD_MESSAGE = 6
+    FRAME_TOO_LARGE = 7
+    SERVER_ERROR = 8
+
+
+class ProtocolError(Exception):
+    """A transport-level defect in the byte stream.
+
+    ``fatal`` distinguishes defects that desynchronize the stream (wrong
+    magic, an unbelievable length — nothing after them can be trusted) from
+    frame-local ones (a checksum miss, an unsupported version — the frame
+    boundary is still known, so the connection keeps going).
+    """
+
+    def __init__(self, code: ErrorCode, message: str, fatal: bool = False):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.fatal = fatal
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: its protocol version, message type and payload."""
+
+    version: int
+    msg_type: int
+    payload: bytes
+
+    @property
+    def type_name(self) -> str:
+        """Readable message-type name (``type-N`` for unknown types)."""
+        try:
+            return MessageType(self.msg_type).name
+        except ValueError:
+            return f"type-{self.msg_type}"
+
+
+def encode_frame(
+    msg_type: int, payload: bytes = b"", version: int = PROTOCOL_VERSION
+) -> bytes:
+    """Encode one frame (header + payload) ready for the wire."""
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise ValueError(
+            f"payload of {len(payload)} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte frame cap"
+        )
+    header = HEADER.pack(MAGIC, version, int(msg_type), 0, len(payload), zlib.crc32(payload))
+    return header + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte stream.
+
+    Feed it whatever chunks the transport delivers; it yields
+    :class:`Frame` objects and :class:`ProtocolError` *values* (returned,
+    not raised — the server answers each with a typed ``ERROR`` reply).
+    After a fatal error the decoder refuses further input: the stream has
+    lost frame alignment and every later byte would be misparsed.
+    """
+
+    def __init__(self, supported_versions: frozenset[int] = SUPPORTED_VERSIONS):
+        self.supported_versions = supported_versions
+        self._buffer = bytearray()
+        self.dead = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet parsed into a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Frame | ProtocolError]:
+        """Consume one chunk; return every frame or defect it completes."""
+        events: list[Frame | ProtocolError] = []
+        if self.dead:
+            return events
+        self._buffer.extend(data)
+        while True:
+            if len(self._buffer) < HEADER.size:
+                return events
+            magic, version, msg_type, _flags, length, crc = HEADER.unpack_from(self._buffer, 0)
+            if magic != MAGIC:
+                self.dead = True
+                events.append(
+                    ProtocolError(
+                        ErrorCode.BAD_MAGIC,
+                        f"bad frame magic {bytes(magic)!r}; stream is desynchronized",
+                        fatal=True,
+                    )
+                )
+                return events
+            if length > MAX_PAYLOAD_BYTES:
+                self.dead = True
+                events.append(
+                    ProtocolError(
+                        ErrorCode.FRAME_TOO_LARGE,
+                        f"declared payload of {length} bytes exceeds the "
+                        f"{MAX_PAYLOAD_BYTES}-byte cap",
+                        fatal=True,
+                    )
+                )
+                return events
+            if len(self._buffer) < HEADER.size + length:
+                return events
+            payload = bytes(self._buffer[HEADER.size : HEADER.size + length])
+            del self._buffer[: HEADER.size + length]
+            if version not in self.supported_versions:
+                events.append(
+                    ProtocolError(
+                        ErrorCode.UNSUPPORTED_VERSION,
+                        f"protocol version {version} is not supported "
+                        f"(supported: {sorted(self.supported_versions)})",
+                    )
+                )
+                continue
+            actual = zlib.crc32(payload)
+            if actual != crc:
+                events.append(
+                    ProtocolError(
+                        ErrorCode.BAD_CHECKSUM,
+                        f"payload checksum {actual:#010x} does not match the "
+                        f"header's {crc:#010x}",
+                    )
+                )
+                continue
+            events.append(Frame(version=version, msg_type=msg_type, payload=payload))
+
+    def at_eof(self) -> ProtocolError | None:
+        """Call when the stream ends: a partial frame left over is truncation."""
+        if not self.dead and self._buffer:
+            return ProtocolError(
+                ErrorCode.TRUNCATED,
+                f"stream ended with {len(self._buffer)} bytes of an unfinished frame",
+            )
+        return None
+
+
+# -- string packing (shared by the payload codecs) -------------------------------
+
+
+def pack_str(text: str) -> bytes:
+    """Length-prefixed UTF-8: u16 byte count + bytes."""
+    encoded = text.encode("utf-8")
+    if len(encoded) > 0xFFFF:
+        raise ValueError("string field exceeds 65535 encoded bytes")
+    return struct.pack("!H", len(encoded)) + encoded
+
+
+def unpack_str(payload: bytes, offset: int) -> tuple[str, int]:
+    """Decode one :func:`pack_str` field; returns ``(text, next_offset)``."""
+    if len(payload) < offset + 2:
+        raise ValueError("string field is truncated before its length prefix")
+    (length,) = struct.unpack_from("!H", payload, offset)
+    offset += 2
+    if len(payload) < offset + length:
+        raise ValueError("string field is truncated inside its bytes")
+    return payload[offset : offset + length].decode("utf-8"), offset + length
+
+
+# -- HELLO / WELCOME --------------------------------------------------------------
+
+
+def encode_hello(versions: frozenset[int] | tuple[int, ...] = (PROTOCOL_VERSION,)) -> bytes:
+    """HELLO payload: every protocol version the client speaks."""
+    ordered = sorted(set(int(version) for version in versions))
+    if not ordered:
+        raise ValueError("a HELLO must offer at least one version")
+    return struct.pack("!B" + "B" * len(ordered), len(ordered), *ordered)
+
+
+def decode_hello(payload: bytes) -> tuple[int, ...]:
+    """Versions offered by a HELLO payload."""
+    if len(payload) < 1:
+        raise ValueError("HELLO payload is empty")
+    count = payload[0]
+    if len(payload) != 1 + count:
+        raise ValueError(f"HELLO declares {count} versions but carries {len(payload) - 1}")
+    return tuple(payload[1 : 1 + count])
+
+
+def encode_welcome(version: int = PROTOCOL_VERSION) -> bytes:
+    """WELCOME payload: the version the server picked."""
+    return struct.pack("!B", version)
+
+
+def decode_welcome(payload: bytes) -> int:
+    """The version a WELCOME payload confirms."""
+    if len(payload) != 1:
+        raise ValueError("WELCOME payload must be exactly one version byte")
+    return payload[0]
+
+
+def negotiate_version(
+    offered: tuple[int, ...], supported: frozenset[int] = SUPPORTED_VERSIONS
+) -> int | None:
+    """Highest mutually supported version, or ``None`` when there is none."""
+    common = set(offered) & supported
+    return max(common) if common else None
+
+
+# -- ERROR ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """Decoded ``ERROR`` payload."""
+
+    code: int
+    request_id: int
+    message: str
+
+    @property
+    def code_name(self) -> str:
+        """Readable error-code name (``code-N`` for unknown codes)."""
+        try:
+            return ErrorCode(self.code).name
+        except ValueError:
+            return f"code-{self.code}"
+
+
+def encode_error(code: int, message: str, request_id: int = 0) -> bytes:
+    """ERROR payload: typed code, answered request id (0 = none), text."""
+    return struct.pack("!HQ", int(code), request_id) + pack_str(message)
+
+
+def decode_error(payload: bytes) -> ErrorReply:
+    """Decode an ``ERROR`` payload."""
+    if len(payload) < 10:
+        raise ValueError("ERROR payload is truncated before its fixed fields end")
+    code, request_id = struct.unpack_from("!HQ", payload, 0)
+    message, _offset = unpack_str(payload, 10)
+    return ErrorReply(code=code, request_id=request_id, message=message)
+
+
+# -- PING / PONG ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Decoded ``PONG`` payload: the echo plus the server's clock."""
+
+    nonce: int
+    client_s: float
+    server_s: float
+
+
+_PING = struct.Struct("!Qd")
+_PONG = struct.Struct("!Qdd")
+
+
+def encode_ping(nonce: int, client_s: float) -> bytes:
+    """PING payload: an opaque nonce and the client's send timestamp."""
+    return _PING.pack(nonce, client_s)
+
+
+def decode_ping(payload: bytes) -> tuple[int, float]:
+    """Decode a ``PING`` payload into ``(nonce, client_s)``."""
+    if len(payload) != _PING.size:
+        raise ValueError(f"PING payload must be {_PING.size} bytes, got {len(payload)}")
+    nonce, client_s = _PING.unpack(payload)
+    return nonce, client_s
+
+
+def encode_pong(nonce: int, client_s: float, server_s: float) -> bytes:
+    """PONG payload: the ping echoed back plus the server's own clock."""
+    return _PONG.pack(nonce, client_s, server_s)
+
+
+def decode_pong(payload: bytes) -> Pong:
+    """Decode a ``PONG`` payload."""
+    if len(payload) != _PONG.size:
+        raise ValueError(f"PONG payload must be {_PONG.size} bytes, got {len(payload)}")
+    nonce, client_s, server_s = _PONG.unpack(payload)
+    return Pong(nonce=nonce, client_s=client_s, server_s=server_s)

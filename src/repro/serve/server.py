@@ -134,7 +134,15 @@ class TenantState:
 
 @dataclass(frozen=True)
 class ServeReport:
-    """Outcome of one serving simulation."""
+    """Outcome of one serving simulation.
+
+    ``wire`` is empty for in-process runs; when the trace travelled through
+    the :mod:`repro.net` front-end it carries the transport-level story —
+    measured round-trip latency percentiles (``rtt_p50_ms`` / ``rtt_p99_ms``
+    / ``rtt_mean_ms``), frame and byte counts, connection count — next to
+    the simulated serving metrics, so wire overhead and model latency stay
+    separately readable.
+    """
 
     label: str
     parameter_set: str
@@ -144,10 +152,11 @@ class ServeReport:
     layout: str = "data-parallel"
     cost_model: str = "analytical"
     outcomes: list[RequestOutcome] = field(repr=False, default_factory=list)
+    wire: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable snapshot (what the benchmark harness records)."""
-        return {
+        snapshot = {
             "label": self.label,
             "parameter_set": self.parameter_set,
             "devices": self.devices,
@@ -156,6 +165,9 @@ class ServeReport:
             "cost_model": self.cost_model,
             **self.metrics.to_dict(),
         }
+        if self.wire:
+            snapshot["wire"] = dict(self.wire)
+        return snapshot
 
     def render(self) -> str:
         """Human-readable summary."""
@@ -164,7 +176,25 @@ class ServeReport:
             f"{self.devices} device(s), policy {self.policy}, "
             f"layout {self.layout}, cost model {self.cost_model}"
         )
-        return header + "\n" + self.metrics.render()
+        body = header + "\n" + self.metrics.render()
+        if self.wire:
+            rtt = ", ".join(
+                f"{key.removeprefix('rtt_').removesuffix('_ms')} {self.wire[key]:.3f} ms"
+                for key in ("rtt_p50_ms", "rtt_p99_ms", "rtt_max_ms")
+                if key in self.wire
+            )
+            counts = ", ".join(
+                f"{self.wire[key]:,} {name}"
+                for key, name in (
+                    ("connections", "connection(s)"),
+                    ("frames_sent", "frames sent"),
+                    ("bytes_sent", "bytes sent"),
+                )
+                if key in self.wire
+            )
+            parts = [part for part in (rtt, counts) if part]
+            body += "\nwire:     " + "; ".join(parts)
+        return body
 
 
 class Server:
@@ -205,6 +235,11 @@ class Server:
         self._flusher: asyncio.Task | None = None
         #: Metrics of the last completed async context (set by :meth:`aclose`).
         self.last_async_report: ServeReport | None = None
+        # Incremental-replay state (created by replay_begin).
+        self._replay_metrics: MetricsCollector | None = None
+        self._replay_emitted = 0
+        self._replay_last_completion = 0.0
+        self._replay_last_arrival = 0.0
 
     def _make_batcher(self) -> AdaptiveBatcher:
         """A fresh batcher honouring the configured QoS discipline."""
@@ -257,6 +292,11 @@ class Server:
                 "sync submit() cannot run inside an active async context; "
                 "use submit_async (the paths share queue and clock)"
             )
+        if self._replay_metrics is not None:
+            raise RuntimeError(
+                "sync submit() cannot run inside an active replay; "
+                "use replay_offer (the paths share queue and clock)"
+            )
         arrival = self._clock if at is None else at
         self._clock = max(self._clock, arrival)
         request = Request.make(
@@ -299,6 +339,11 @@ class Server:
             raise RuntimeError(
                 "simulate() cannot run inside an active async context; "
                 "exit the `async with` block first"
+            )
+        if self._replay_metrics is not None:
+            raise RuntimeError(
+                "simulate() cannot run inside an active replay; "
+                "replay_finish() it first (the paths share queue and batcher)"
             )
         if trace is not None:
             pending = sorted(trace, key=lambda request: request.arrival_s)
@@ -377,6 +422,119 @@ class Server:
         self._resolve_futures(outcomes)
         return dispatch.end_s
 
+    # -- incremental replay --------------------------------------------------------
+
+    def replay_begin(self) -> None:
+        """Start an incremental trace replay (the streaming twin of :meth:`simulate`).
+
+        The network front-end receives a recorded trace one request at a
+        time, so it cannot hand :meth:`simulate` a complete list — instead
+        it opens a replay, :meth:`replay_offer`\\ s each request as its
+        frame arrives (in arrival order) and :meth:`replay_drain`\\ s at the
+        end.  Processing one offer is *exactly* one iteration of
+        :meth:`simulate`'s loop, so a full offer/drain pass over a sorted
+        trace produces bit-for-bit the outcomes and metrics the in-process
+        path produces: framing changes latency, never results.
+        """
+        if self._async_metrics is not None:
+            raise RuntimeError(
+                "a replay cannot start inside an active async context; "
+                "exit the `async with` block first"
+            )
+        if self.queue:
+            raise RuntimeError(
+                "the server has queued sync submissions; simulate() or "
+                "discard them before starting a replay"
+            )
+        self.cluster.reset_serving_state()
+        self.queue = RequestQueue()
+        self.batcher = self._make_batcher()
+        self._replay_metrics = MetricsCollector(self.batch_capacity)
+        self._replay_emitted = 0
+        self._replay_last_completion = 0.0
+        self._replay_last_arrival = 0.0
+
+    def _require_replay(self) -> MetricsCollector:
+        if self._replay_metrics is None:
+            raise RuntimeError("no replay is active; call replay_begin() first")
+        return self._replay_metrics
+
+    def _new_replay_outcomes(self, metrics: MetricsCollector) -> list[RequestOutcome]:
+        fresh = metrics.outcomes[self._replay_emitted :]
+        self._replay_emitted = len(metrics.outcomes)
+        return list(fresh)
+
+    def replay_offer(self, request: Request) -> list[RequestOutcome]:
+        """Feed the replay one request; returns every outcome it resolved.
+
+        Requests must arrive in non-decreasing ``arrival_s`` order (the
+        order :meth:`simulate` sorts into); the returned outcomes cover any
+        deadline flushes due before this arrival plus any capacity flushes
+        it triggered — possibly none, when the request merely joins a
+        batch still filling.
+        """
+        metrics = self._require_replay()
+        self._replay_last_completion = max(
+            self._replay_last_completion,
+            self._fire_deadlines(request.arrival_s, metrics),
+        )
+        self.queue.push(request)
+        self._clock = max(self._clock, request.arrival_s)
+        self._replay_last_arrival = max(self._replay_last_arrival, request.arrival_s)
+        for batch in self.batcher.poll(self.queue, request.arrival_s):
+            self._replay_last_completion = max(
+                self._replay_last_completion, self._dispatch(batch, metrics)
+            )
+        return self._new_replay_outcomes(metrics)
+
+    def replay_drain(self) -> list[RequestOutcome]:
+        """Fire every outstanding deadline; returns the outcomes it resolved.
+
+        The end-of-trace step (:meth:`simulate` does the same before
+        summarizing): every queued request still waiting flushes at its
+        deadline.  The replay stays open, so a drain mid-stream is allowed
+        — it just empties the queue at the current deadlines.
+        """
+        metrics = self._require_replay()
+        self._replay_last_completion = max(
+            self._fire_deadlines(None, metrics), self._replay_last_completion
+        )
+        return self._new_replay_outcomes(metrics)
+
+    def replay_finish(
+        self, label: str = "replay", wire: dict[str, Any] | None = None
+    ) -> ServeReport:
+        """Drain, close the replay and fold it into a :class:`ServeReport`.
+
+        ``wire`` (frame/byte counters, measured RTT percentiles) is carried
+        through to :attr:`ServeReport.wire` when the replay came over a
+        transport.
+        """
+        metrics = self._require_replay()
+        self.replay_drain()
+        self._replay_metrics = None
+        horizon = max(self._replay_last_completion, self._replay_last_arrival)
+        summary = metrics.summarize(
+            horizon_s=horizon,
+            flush_reasons=self.batcher.flush_reasons,
+            peak_queue_depth=self.queue.peak_depth,
+            device_utilization=self.cluster.device_utilization(horizon),
+            key_cache=self.cluster.key_cache_stats,
+            stage_plan_cache=self.cluster.layout.plan_cache_stats,
+            cost_cache=self.cluster.cost_cache_stats,
+        )
+        return ServeReport(
+            label=label,
+            parameter_set=self.params.name,
+            devices=len(self.cluster),
+            policy=self.cluster.policy.name,
+            layout=self.cluster.layout.name,
+            cost_model=self.cluster.cost_model.name,
+            metrics=summary,
+            outcomes=list(metrics.outcomes),
+            wire=dict(wire or {}),
+        )
+
     # -- sharded one-shot execution ---------------------------------------------------
 
     def run(
@@ -400,6 +558,11 @@ class Server:
             raise RuntimeError(
                 "this server already has an active async context; "
                 "one `async with` block at a time"
+            )
+        if self._replay_metrics is not None:
+            raise RuntimeError(
+                "an async context cannot open inside an active replay; "
+                "replay_finish() it first"
             )
         if self.queue:
             raise RuntimeError(

@@ -47,9 +47,7 @@ def make_test_vector(
     block = n_poly // p
     values = np.zeros(n_poly, dtype=np.int64)
     for message in range(p):
-        values[message * block : (message + 1) * block] = (
-            int(function(message)) % (2 * p)
-        ) * delta
+        values[message * block : (message + 1) * block] = (int(function(message)) % (2 * p)) * delta
     # Negacyclic left rotation by half a block: coefficients that wrap around
     # re-enter negated (X^N = -1).
     half_block = block // 2

@@ -126,7 +126,9 @@ def decomposition_error_bound(levels: int, log2_base: int, q_bits: int = 32) -> 
     return 1 << max(q_bits - levels * log2_base - 1, 0)
 
 
-def decompose_for_params(values: np.ndarray, params: TFHEParameters, *, keyswitch: bool = False) -> np.ndarray:
+def decompose_for_params(
+    values: np.ndarray, params: TFHEParameters, *, keyswitch: bool = False
+) -> np.ndarray:
     """Convenience wrapper selecting the PBS or keyswitching decomposition."""
     if keyswitch:
         return decompose(values, params.lk, params.log2_base_ks, params.q_bits)

@@ -133,7 +133,9 @@ class FourierGgswCiphertext:
         return ct_false + self.external_product(ct_true - ct_false)
 
 
-def external_product(ggsw: GgswCiphertext | FourierGgswCiphertext, glwe: GlweCiphertext) -> GlweCiphertext:
+def external_product(
+    ggsw: GgswCiphertext | FourierGgswCiphertext, glwe: GlweCiphertext
+) -> GlweCiphertext:
     """External product accepting either a plain or Fourier-domain GGSW."""
     if isinstance(ggsw, GgswCiphertext):
         ggsw = ggsw.to_fourier()

@@ -46,9 +46,7 @@ class GlweCiphertext:
                 f"mask must have shape (k, N)=(*, {self.params.N}), got {self.mask.shape}"
             )
         if self.body.shape != (self.params.N,):
-            raise ValueError(
-                f"body must have shape ({self.params.N},), got {self.body.shape}"
-            )
+            raise ValueError(f"body must have shape ({self.params.N},), got {self.body.shape}")
 
     @property
     def k(self) -> int:

@@ -92,7 +92,7 @@ class RadixIntegerCodec:
     @property
     def max_value(self) -> int:
         """Largest representable plaintext value."""
-        return self.radix ** self.num_digits - 1
+        return self.radix**self.num_digits - 1
 
     def encrypt(self, value: int) -> EncryptedInteger:
         """Encrypt an unsigned integer digit by digit."""
@@ -114,7 +114,9 @@ class RadixIntegerCodec:
 
     # -- arithmetic ------------------------------------------------------------
 
-    def add(self, a: EncryptedInteger, b: EncryptedInteger, propagate: bool = True) -> EncryptedInteger:
+    def add(
+        self, a: EncryptedInteger, b: EncryptedInteger, propagate: bool = True
+    ) -> EncryptedInteger:
         """Homomorphic addition (digit-wise), optionally propagating carries.
 
         Without propagation the digit ciphertexts hold values up to
@@ -128,7 +130,9 @@ class RadixIntegerCodec:
         )
         return self.propagate_carries(summed) if propagate else summed
 
-    def add_scalar(self, a: EncryptedInteger, scalar: int, propagate: bool = True) -> EncryptedInteger:
+    def add_scalar(
+        self, a: EncryptedInteger, scalar: int, propagate: bool = True
+    ) -> EncryptedInteger:
         """Add a plaintext integer to an encrypted one."""
         if not 0 <= scalar <= self.max_value:
             raise ValueError(f"scalar {scalar} out of range [0, {self.max_value}]")
@@ -155,12 +159,8 @@ class RadixIntegerCodec:
         carry: LweCiphertext | None = None
         for digit in value.digits:
             with_carry = digit if carry is None else digit + carry
-            clean = self._digit_lut.apply(
-                with_carry, keys.bootstrapping_key, keys.keyswitching_key
-            )
-            carry = self._carry_lut.apply(
-                with_carry, keys.bootstrapping_key, keys.keyswitching_key
-            )
+            clean = self._digit_lut.apply(with_carry, keys.bootstrapping_key, keys.keyswitching_key)
+            carry = self._carry_lut.apply(with_carry, keys.bootstrapping_key, keys.keyswitching_key)
             propagated.append(clean)
         return EncryptedInteger(propagated, self.digit_bits, self.params)
 

@@ -67,18 +67,14 @@ class GlweSecretKey:
         self.polynomials = np.asarray(self.polynomials, dtype=np.int64)
         expected = (self.params.k, self.params.N)
         if self.polynomials.shape != expected:
-            raise ValueError(
-                f"GLWE key must have shape {expected}, got {self.polynomials.shape}"
-            )
+            raise ValueError(f"GLWE key must have shape {expected}, got {self.polynomials.shape}")
         if not np.all((self.polynomials == 0) | (self.polynomials == 1)):
             raise ValueError("GLWE secret key must be binary")
 
     @classmethod
     def generate(cls, params: TFHEParameters, rng: np.random.Generator) -> "GlweSecretKey":
         """Sample fresh binary key polynomials."""
-        return cls(
-            rng.integers(0, 2, size=(params.k, params.N), dtype=np.int64), params
-        )
+        return cls(rng.integers(0, 2, size=(params.k, params.N), dtype=np.int64), params)
 
     def extracted_lwe_key(self) -> np.ndarray:
         """Flatten the key into the LWE key of dimension ``k*N``.
@@ -114,9 +110,7 @@ class BootstrappingKey:
         params = lwe_key.params
         ggsw_list = []
         for bit in lwe_key.bits:
-            ggsw = GgswCiphertext.encrypt(
-                int(bit), glwe_key.polynomials, params, rng, noise_std
-            )
+            ggsw = GgswCiphertext.encrypt(int(bit), glwe_key.polynomials, params, rng, noise_std)
             ggsw_list.append(ggsw.to_fourier())
         return cls(ggsw_list, params)
 

@@ -43,9 +43,7 @@ class LookUpTable:
             raise ValueError(f"table entries must lie in [0, {p})")
 
     @classmethod
-    def from_function(
-        cls, function: Callable[[int], int], params: TFHEParameters
-    ) -> "LookUpTable":
+    def from_function(cls, function: Callable[[int], int], params: TFHEParameters) -> "LookUpTable":
         """Tabulate a Python function over the message space."""
         p = params.message_modulus
         return cls(np.array([function(m) % p for m in range(p)], dtype=np.int64), params)

@@ -85,15 +85,11 @@ class LweCiphertext:
 
     def __add__(self, other: "LweCiphertext") -> "LweCiphertext":
         self._check_compatible(other)
-        return LweCiphertext(
-            self.mask + other.mask, self.body + other.body, self.params
-        )
+        return LweCiphertext(self.mask + other.mask, self.body + other.body, self.params)
 
     def __sub__(self, other: "LweCiphertext") -> "LweCiphertext":
         self._check_compatible(other)
-        return LweCiphertext(
-            self.mask - other.mask, self.body - other.body, self.params
-        )
+        return LweCiphertext(self.mask - other.mask, self.body - other.body, self.params)
 
     def __neg__(self) -> "LweCiphertext":
         return LweCiphertext(-self.mask, -self.body, self.params)

@@ -23,12 +23,12 @@ from repro.tfhe.lwe import LweCiphertext
 
 def fresh_lwe_variance(params: TFHEParameters) -> float:
     """Variance of a freshly encrypted LWE ciphertext."""
-    return params.lwe_noise_std ** 2
+    return params.lwe_noise_std**2
 
 
 def fresh_glwe_variance(params: TFHEParameters) -> float:
     """Variance of a freshly encrypted GLWE ciphertext."""
-    return params.glwe_noise_std ** 2
+    return params.glwe_noise_std**2
 
 
 def external_product_variance(params: TFHEParameters, input_variance: float) -> float:
@@ -42,10 +42,10 @@ def external_product_variance(params: TFHEParameters, input_variance: float) -> 
     lb = params.lb
     n_poly = params.N
     k = params.k
-    ggsw_variance = params.glwe_noise_std ** 2
-    digit_term = (k + 1) * lb * n_poly * (base ** 2 / 12.0 + 1.0 / 6.0) * ggsw_variance
-    rounding = 1.0 / (2.0 * base ** lb)
-    rounding_term = (1 + k * n_poly / 2.0) * (rounding ** 2 / 3.0)
+    ggsw_variance = params.glwe_noise_std**2
+    digit_term = (k + 1) * lb * n_poly * (base**2 / 12.0 + 1.0 / 6.0) * ggsw_variance
+    rounding = 1.0 / (2.0 * base**lb)
+    rounding_term = (1 + k * n_poly / 2.0) * (rounding**2 / 3.0)
     return input_variance + digit_term + rounding_term
 
 
@@ -66,17 +66,17 @@ def keyswitch_variance(params: TFHEParameters, input_variance: float) -> float:
     base = params.base_ks
     lk = params.lk
     input_dim = params.k * params.N
-    key_noise = params.lwe_noise_std ** 2
-    digit_term = input_dim * lk * (base ** 2 / 12.0 + 1.0 / 6.0) * key_noise
-    rounding = 1.0 / (2.0 * base ** lk)
-    rounding_term = input_dim * (rounding ** 2 / 12.0)
+    key_noise = params.lwe_noise_std**2
+    digit_term = input_dim * lk * (base**2 / 12.0 + 1.0 / 6.0) * key_noise
+    rounding = 1.0 / (2.0 * base**lk)
+    rounding_term = input_dim * (rounding**2 / 12.0)
     return input_variance + digit_term + rounding_term
 
 
 def modulus_switch_variance(params: TFHEParameters, input_variance: float) -> float:
     """Variance after switching to modulus ``2N`` (expressed on the 2N scale)."""
     rounding = 1.0 / (2.0 * 2 * params.N)
-    return input_variance + (params.n + 1) * (rounding ** 2 / 3.0)
+    return input_variance + (params.n + 1) * (rounding**2 / 3.0)
 
 
 def pbs_output_variance(params: TFHEParameters) -> float:

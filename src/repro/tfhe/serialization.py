@@ -13,6 +13,7 @@ explicit function so it is always obvious when secret material touches disk.
 
 from __future__ import annotations
 
+import struct
 from pathlib import Path
 
 import numpy as np
@@ -44,9 +45,7 @@ def save_lwe_ciphertexts(path: str | Path, ciphertexts: list[LweCiphertext]) -> 
         raise ValueError(f"ciphertexts have mixed dimensions: {sorted(dimensions)}")
     masks = np.stack([ct.mask for ct in ciphertexts])
     bodies = np.array([ct.body for ct in ciphertexts], dtype=np.int64)
-    np.savez_compressed(
-        Path(path), masks=masks, bodies=bodies, parameter_set=params.name
-    )
+    np.savez_compressed(Path(path), masks=masks, bodies=bodies, parameter_set=params.name)
 
 
 def load_lwe_ciphertexts(path: str | Path, params: TFHEParameters) -> list[LweCiphertext]:
@@ -58,6 +57,75 @@ def load_lwe_ciphertexts(path: str | Path, params: TFHEParameters) -> list[LweCi
     return [
         LweCiphertext(masks[index], int(bodies[index]), params)
         for index in range(masks.shape[0])
+    ]
+
+
+# -- LWE ciphertexts, bytes level ------------------------------------------------
+
+#: Leading magic of the in-memory LWE batch encoding (versioned separately
+#: from the ``.npz`` files: the wire format must stay byte-stable).
+LWE_WIRE_MAGIC = b"LWE1"
+
+#: Fixed header of the bytes-level encoding: magic, parameter-set name
+#: length, ciphertext count, LWE dimension.
+_LWE_WIRE_HEADER = struct.Struct("!4sHII")
+
+
+def lwe_to_bytes(ciphertexts: list[LweCiphertext]) -> bytes:
+    """Encode a batch of LWE ciphertexts as one contiguous byte string.
+
+    The bytes-level sibling of :func:`save_lwe_ciphertexts` for transports
+    that are not files — network frames, shared memory, message queues.  The
+    layout is deliberately raw (no compression, fixed little-endian
+    ``int64`` arrays) so the encoding is byte-deterministic and the size is
+    exactly ``header + count * (dimension + 1) * 8`` — the quantity the
+    serving tier's interconnect model already reasons about.
+    """
+    if not ciphertexts:
+        raise ValueError("cannot encode an empty ciphertext batch")
+    params = ciphertexts[0].params
+    dimensions = {ct.dimension for ct in ciphertexts}
+    if len(dimensions) != 1:
+        raise ValueError(f"ciphertexts have mixed dimensions: {sorted(dimensions)}")
+    name = params.name.encode("utf-8")
+    masks = np.stack([ct.mask for ct in ciphertexts]).astype("<i8", copy=False)
+    bodies = np.array([ct.body for ct in ciphertexts], dtype="<i8")
+    header = _LWE_WIRE_HEADER.pack(
+        LWE_WIRE_MAGIC, len(name), len(ciphertexts), ciphertexts[0].dimension
+    )
+    return header + name + masks.tobytes() + bodies.tobytes()
+
+
+def lwe_from_bytes(data: bytes, params: TFHEParameters) -> list[LweCiphertext]:
+    """Decode a batch encoded by :func:`lwe_to_bytes`.
+
+    Rejects wrong magic, a parameter-set mismatch and truncated or oversized
+    payloads with :class:`ValueError` — the checks the network codec relies
+    on to turn corrupt frames into typed protocol errors.
+    """
+    view = memoryview(data)
+    if len(view) < _LWE_WIRE_HEADER.size:
+        raise ValueError("LWE byte batch is truncated before its header ends")
+    magic, name_length, count, dimension = _LWE_WIRE_HEADER.unpack_from(view, 0)
+    if magic != LWE_WIRE_MAGIC:
+        raise ValueError(f"bad LWE batch magic {bytes(magic)!r}")
+    offset = _LWE_WIRE_HEADER.size
+    if len(view) < offset + name_length:
+        raise ValueError("LWE byte batch is truncated inside its parameter name")
+    stored_name = bytes(view[offset : offset + name_length]).decode("utf-8")
+    _check_params_match(stored_name, params)
+    offset += name_length
+    expected = offset + count * (dimension + 1) * 8
+    if len(view) != expected:
+        raise ValueError(
+            f"LWE byte batch has {len(view)} bytes but the header implies {expected}"
+        )
+    masks = np.frombuffer(
+        view, dtype="<i8", count=count * dimension, offset=offset
+    ).reshape(count, dimension)
+    bodies = np.frombuffer(view, dtype="<i8", count=count, offset=offset + count * dimension * 8)
+    return [
+        LweCiphertext(masks[index], int(bodies[index]), params) for index in range(count)
     ]
 
 
@@ -81,9 +149,7 @@ def load_bootstrapping_key(path: str | Path, params: TFHEParameters) -> Bootstra
 
 def save_keyswitching_key(path: str | Path, key: KeySwitchingKey) -> None:
     """Save a keyswitching key."""
-    np.savez_compressed(
-        Path(path), ciphertexts=key.ciphertexts, parameter_set=key.params.name
-    )
+    np.savez_compressed(Path(path), ciphertexts=key.ciphertexts, parameter_set=key.params.name)
 
 
 def load_keyswitching_key(path: str | Path, params: TFHEParameters) -> KeySwitchingKey:

@@ -35,8 +35,9 @@ def test_docs_exist_and_carry_snippets():
         "cost_models.md",
         "key_memory.md",
         "performance.md",
+        "networking.md",
     } <= names
-    assert len(SNIPPETS) >= 13
+    assert len(SNIPPETS) >= 17
 
 
 @pytest.mark.parametrize(

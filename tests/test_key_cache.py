@@ -151,6 +151,31 @@ def test_pinned_tenants_survive_churn():
     assert residency.stats.evictions == 3  # a, b, c evicted; vip never
 
 
+def test_per_device_pin_sets():
+    cluster = StrixCluster(devices=2)
+    # vip is untouchable on device 0 only; device 1 may evict it freely.
+    policy = PinnedTenantPolicy(pinned={0: {"vip"}})
+    assert policy.is_pinned(0, "vip")
+    assert not policy.is_pinned(1, "vip")
+    residency = KeyResidencyManager(
+        devices=2,
+        interconnect=cluster.interconnect,
+        budget_bytes=budget_for(cluster, 2),
+        policy=policy,
+    )
+    for device in (0, 1):
+        residency.place(["vip"], (device,), PARAM_SET_I)
+        for tenant in ("a", "b", "c"):
+            residency.place([tenant], (device,), PARAM_SET_I)
+    assert residency.resident_devices("vip") == frozenset({0})
+    # pin() with a device argument extends one device's set, not the globals.
+    policy.pin("gold", device=1)
+    assert policy.is_pinned(1, "gold") and not policy.is_pinned(0, "gold")
+    # pin() without a device stays global, alongside the per-device sets.
+    policy.pin("everywhere")
+    assert policy.is_pinned(0, "everywhere") and policy.is_pinned(1, "everywhere")
+
+
 def test_all_protected_overcommits_instead_of_thrashing():
     cluster = StrixCluster(devices=1)
     residency = manager(cluster, key_sets=1, policy="lru")

@@ -6,6 +6,8 @@ import itertools
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.apps.tree_inference import (
     DecisionNode,
@@ -112,6 +114,64 @@ class TestSerialization:
         serialization.save_lwe_ciphertexts(path, [toy_context.encrypt(1)])
         with pytest.raises(ValueError):
             serialization.load_lwe_ciphertexts(path, SMALL_PARAMETERS)
+
+    def test_lwe_bytes_roundtrip(self, toy_context):
+        ciphertexts = [toy_context.encrypt(m) for m in (0, 1, 2, 3)]
+        blob = serialization.lwe_to_bytes(ciphertexts)
+        header = serialization._LWE_WIRE_HEADER.size + len(TOY_PARAMETERS.name)
+        assert len(blob) == header + len(ciphertexts) * (ciphertexts[0].dimension + 1) * 8
+        loaded = serialization.lwe_from_bytes(blob, TOY_PARAMETERS)
+        assert [toy_context.decrypt(ct) for ct in loaded] == [0, 1, 2, 3]
+        # Byte-deterministic: the same batch encodes to the same bytes.
+        assert serialization.lwe_to_bytes(loaded) == blob
+
+    @given(
+        masks=st.lists(
+            st.lists(st.integers(min_value=-(2**40), max_value=2**40), min_size=5, max_size=5),
+            min_size=1,
+            max_size=6,
+        ),
+        bodies=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lwe_bytes_roundtrip_property(self, masks, bodies):
+        from repro.tfhe.lwe import LweCiphertext
+
+        batch = [
+            LweCiphertext(
+                np.asarray(mask, dtype=np.int64),
+                bodies.draw(st.integers(min_value=-(2**40), max_value=2**40)),
+                TOY_PARAMETERS,
+            )
+            for mask in masks
+        ]
+        restored = serialization.lwe_from_bytes(
+            serialization.lwe_to_bytes(batch), TOY_PARAMETERS
+        )
+        assert len(restored) == len(batch)
+        for original, copy in zip(batch, restored):
+            assert np.array_equal(original.mask, copy.mask)
+            assert original.body == copy.body
+
+    def test_lwe_bytes_params_mismatch_rejected(self, toy_context):
+        from repro.params import SMALL_PARAMETERS
+
+        blob = serialization.lwe_to_bytes([toy_context.encrypt(1)])
+        with pytest.raises(ValueError, match="parameter"):
+            serialization.lwe_from_bytes(blob, SMALL_PARAMETERS)
+
+    def test_lwe_bytes_rejects_corrupt_blobs(self, toy_context):
+        blob = serialization.lwe_to_bytes([toy_context.encrypt(1)])
+        with pytest.raises(ValueError, match="magic"):
+            serialization.lwe_from_bytes(b"XXXX" + blob[4:], TOY_PARAMETERS)
+        with pytest.raises(ValueError, match="truncated"):
+            serialization.lwe_from_bytes(blob[:6], TOY_PARAMETERS)
+        with pytest.raises(ValueError, match="implies"):
+            serialization.lwe_from_bytes(blob[:-8], TOY_PARAMETERS)
+        with pytest.raises(ValueError, match="implies"):
+            serialization.lwe_from_bytes(blob + b"\x00" * 8, TOY_PARAMETERS)
+        with pytest.raises(ValueError, match="empty"):
+            serialization.lwe_to_bytes([])
 
     def test_bootstrapping_key_roundtrip_still_bootstraps(self, toy_context, tmp_path):
         keys = toy_context.server_keys
