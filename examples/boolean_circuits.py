@@ -41,7 +41,8 @@ def functional_demo() -> None:
     encrypted_sum = adder.add(encrypt_number(session, a, bits), encrypt_number(session, b, bits))
     total = decrypt_number(session, encrypted_sum)
     elapsed = time.perf_counter() - start
-    print(f"{a} + {b} = {total}   ({RippleCarryAdder.gate_count(bits)} gate bootstraps, {elapsed:.2f} s)")
+    gates = RippleCarryAdder.gate_count(bits)
+    print(f"{a} + {b} = {total}   ({gates} gate bootstraps, {elapsed:.2f} s)")
 
     greater = comparator.greater_than(
         encrypt_number(session, a, bits), encrypt_number(session, b, bits)

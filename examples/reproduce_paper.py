@@ -53,9 +53,12 @@ def main() -> None:
 
     table5 = pbs_comparison_table(accelerator)
     print("=== headline summary (paper -> reproduced) ===")
-    print(f"Strix vs CPU throughput, set I:    1067x -> {table5.speedup_over('Concrete', 'I'):.0f}x")
-    print(f"Strix vs GPU throughput, set I:      37x -> {table5.speedup_over('NuFHE', 'I'):.0f}x")
-    print(f"Strix vs Matcha throughput, set I:  7.4x -> {table5.speedup_over('Matcha', 'I'):.1f}x")
+    cpu = table5.speedup_over("Concrete", "I")
+    gpu = table5.speedup_over("NuFHE", "I")
+    matcha = table5.speedup_over("Matcha", "I")
+    print(f"Strix vs CPU throughput, set I:    1067x -> {cpu:.0f}x")
+    print(f"Strix vs GPU throughput, set I:      37x -> {gpu:.0f}x")
+    print(f"Strix vs Matcha throughput, set I:  7.4x -> {matcha:.1f}x")
     print(f"All rendered tables written to {RESULTS_DIR}")
 
 

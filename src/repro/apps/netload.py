@@ -15,16 +15,24 @@ Two modes::
 
 ``--smoke`` shrinks everything to a sub-second run and additionally verifies
 replay-vs-simulate equality — the loopback check CI executes on every push.
+
+``--json`` swaps the human-readable report for one machine-readable JSON
+object (trace shape, serving metrics, wire RTT/throughput) on stdout;
+``--trace-out``/``--chrome-out`` enable request tracing and dump the span
+timeline as JSONL / Chrome ``trace_event`` JSON (load the latter in
+``chrome://tracing`` or Perfetto).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from repro.apps.traffic import TRAFFIC_PATTERNS
 from repro.net.loadgen import closed_loop, replay_trace
+from repro.obs import write_chrome_trace, write_jsonl
 from repro.serve.server import Server
 
 
@@ -63,6 +71,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="sub-second run that also checks replay equality (CI loopback test)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print one machine-readable JSON summary instead of the report",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="enable request tracing and write the span timeline as JSONL",
+    )
+    parser.add_argument(
+        "--chrome-out",
+        metavar="PATH",
+        help="enable request tracing and write a Chrome trace_event JSON file",
+    )
     return parser
 
 
@@ -76,21 +99,46 @@ def main(argv: Sequence[str] | None = None) -> int:
     trace = TRAFFIC_PATTERNS[args.pattern](
         args.rate, args.duration, seed=args.seed, tenants=args.tenants
     )
-    print(
-        f"trace: {len(trace)} requests ({args.pattern}, {args.rate:g} req/s "
-        f"for {args.duration:g} s, seed {args.seed})"
-    )
+    if not args.json:
+        print(
+            f"trace: {len(trace)} requests ({args.pattern}, {args.rate:g} req/s "
+            f"for {args.duration:g} s, seed {args.seed})"
+        )
+    tracing = args.trace_out is not None or args.chrome_out is not None
+    server = Server(devices=args.devices, params=args.params)
+    tracer = server.enable_tracing() if tracing else None
     if args.mode == "replay":
-        report = replay_trace(trace, devices=args.devices, params=args.params, label="net-replay")
+        report = replay_trace(trace, server=server, label="net-replay")
     else:
         report = closed_loop(
-            trace,
-            connections=args.connections,
-            devices=args.devices,
-            params=args.params,
-            label="net-live",
+            trace, connections=args.connections, server=server, label="net-live"
         )
-    print(report.render())
+    if args.json:
+        summary = {
+            "trace": {
+                "pattern": args.pattern,
+                "requests": len(trace),
+                "rate_rps": args.rate,
+                "duration_s": args.duration,
+                "seed": args.seed,
+                "tenants": args.tenants,
+            },
+            "mode": args.mode,
+            "report": report.to_dict(),
+        }
+        print(json.dumps(summary, sort_keys=True, indent=2))
+    else:
+        print(report.render())
+    if tracer is not None:
+        spans = tracer.spans()
+        if args.trace_out is not None:
+            count = write_jsonl(spans, args.trace_out)
+            if not args.json:
+                print(f"wrote {count} spans to {args.trace_out}")
+        if args.chrome_out is not None:
+            events = write_chrome_trace(spans, args.chrome_out)
+            if not args.json:
+                print(f"wrote {events} trace events to {args.chrome_out}")
     if args.smoke and args.mode == "replay":
         reference = Server(devices=args.devices, params=args.params).simulate(
             list(trace), label="net-replay"
@@ -98,7 +146,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         if report.outcomes != reference.outcomes:
             print("SMOKE FAILED: wire replay diverged from in-process simulation")
             return 1
-        print(f"smoke OK: {len(report.outcomes)} wire outcomes == in-process simulation")
+        if not args.json:
+            print(
+                f"smoke OK: {len(report.outcomes)} wire outcomes == in-process simulation"
+            )
     return 0
 
 

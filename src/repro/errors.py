@@ -77,3 +77,9 @@ class UnknownKeyPolicyError(UnknownNameError):
 
     kind = "key-cache policy"
     kind_plural = "key-cache policies"
+
+
+class UnknownMetricError(UnknownNameError):
+    """Unknown metric name in a :class:`repro.obs.MetricsRegistry`."""
+
+    kind = "metric"

@@ -46,7 +46,9 @@ from repro.net.protocol import (
     MessageType,
     Pong,
     ProtocolError,
+    decode_stats,
     encode_frame,
+    encode_stats,
     negotiate_version,
 )
 from repro.net.server import NetServer, WireStats
@@ -73,9 +75,11 @@ __all__ = [
     "closed_loop",
     "closed_loop_async",
     "decode_result",
+    "decode_stats",
     "decode_submit",
     "encode_frame",
     "encode_result",
+    "encode_stats",
     "encode_submit",
     "negotiate_version",
     "replay_trace",

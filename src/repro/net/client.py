@@ -67,6 +67,7 @@ class AsyncNetClient:
         self._pings: dict[int, tuple[float, asyncio.Future]] = {}
         self._hello: asyncio.Future | None = None
         self._drained: asyncio.Future | None = None
+        self._stats: asyncio.Future | None = None
         self._reader_task: asyncio.Task | None = None
         self._closed = False
         self.negotiated_version: int | None = None
@@ -169,6 +170,17 @@ class AsyncNetClient:
         await self._send(MessageType.DRAIN, b"")
         await self._drained
 
+    async def stats(self) -> dict[str, float]:
+        """Scrape the server's metrics registry over the wire.
+
+        Returns the flat ``{name: value}`` snapshot the server's
+        :meth:`~repro.serve.server.Server.metrics` produced when the
+        ``STATS`` frame was handled.
+        """
+        self._stats = asyncio.get_running_loop().create_future()
+        await self._send(MessageType.STATS, b"")
+        return await self._stats
+
     async def close(self) -> None:
         """Close the connection and stop the reader task."""
         if self._closed:
@@ -249,6 +261,9 @@ class AsyncNetClient:
         elif msg_type == MessageType.DRAINED:
             if self._drained is not None and not self._drained.done():
                 self._drained.set_result(None)
+        elif msg_type == MessageType.STATS_REPLY:
+            if self._stats is not None and not self._stats.done():
+                self._stats.set_result(protocol.decode_stats(frame.payload))
 
     def _handle_result(self, message: ResultMessage) -> None:
         entry = self._pending.pop(message.request_id, None)
@@ -282,7 +297,7 @@ class AsyncNetClient:
             if not future.done():
                 future.set_exception(error)
         self._pings.clear()
-        for waiter in (self._hello, self._drained):
+        for waiter in (self._hello, self._drained, self._stats):
             if waiter is not None and not waiter.done():
                 waiter.set_exception(error)
 
@@ -344,6 +359,12 @@ class NetClient:
         rtt = time.perf_counter() - started
         self.rtts_s.append(rtt)
         return rtt
+
+    def stats(self) -> dict[str, float]:
+        """Scrape the server's metrics registry over the wire."""
+        self._send(MessageType.STATS, b"")
+        frame = self._expect(MessageType.STATS_REPLY)
+        return protocol.decode_stats(frame.payload)
 
     def close(self) -> None:
         """Close the socket."""

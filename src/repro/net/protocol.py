@@ -34,11 +34,17 @@ Message types
 * ``DRAIN`` / ``DRAINED`` — flush everything still batched (trace replay
   uses it to terminate deterministically; ``DRAINED`` confirms all results
   are out).
+* ``STATS`` / ``STATS_REPLY`` — scrape the server's unified metrics
+  registry over the wire: the reply carries the flat
+  ``{name: value}`` snapshot of
+  :meth:`repro.serve.Server.metrics` as canonical JSON (sorted keys,
+  compact separators), byte-reproducible for identical counter states.
 """
 
 from __future__ import annotations
 
 import enum
+import json
 import struct
 import zlib
 from dataclasses import dataclass
@@ -74,6 +80,8 @@ class MessageType(enum.IntEnum):
     PONG = 7
     DRAIN = 8
     DRAINED = 9
+    STATS = 10
+    STATS_REPLY = 11
 
 
 class ErrorCode(enum.IntEnum):
@@ -218,6 +226,34 @@ class FrameDecoder:
                 f"stream ended with {len(self._buffer)} bytes of an unfinished frame",
             )
         return None
+
+
+# -- STATS / STATS_REPLY ----------------------------------------------------------
+
+
+def encode_stats(snapshot: dict) -> bytes:
+    """STATS_REPLY payload: a flat metrics snapshot as canonical JSON.
+
+    Sorted keys and compact separators make the encoding a pure function
+    of the snapshot, so identical counter states produce identical bytes
+    (and identical CRCs) — the property the scrape-equality test pins.
+    """
+    return json.dumps(
+        snapshot, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def decode_stats(payload: bytes) -> dict:
+    """Decode a ``STATS_REPLY`` payload back into the snapshot dict."""
+    try:
+        snapshot = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"STATS_REPLY payload is not valid JSON: {error}") from None
+    if not isinstance(snapshot, dict):
+        raise ValueError(
+            f"STATS_REPLY payload must be a JSON object, got {type(snapshot).__name__}"
+        )
+    return snapshot
 
 
 # -- string packing (shared by the payload codecs) -------------------------------

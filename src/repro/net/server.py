@@ -116,6 +116,16 @@ class NetServer:
         self.stats = WireStats()
         #: Serving report of the last completed serve (set by :meth:`aclose`).
         self.last_report: ServeReport | None = None
+        #: Snapshot served by the most recent STATS scrape — stashed *before*
+        #: the reply frame is counted, so a test can compare the scraped dict
+        #: against exactly what the registry held at scrape time.
+        self.last_stats: dict[str, float] | None = None
+        # The transport's counters join the serving registry as a live view
+        # (re-registering replaces an earlier NetServer's view on the same
+        # Server), so a STATS scrape sees wire traffic next to serving state.
+        self.server.registry.register_view(
+            "wire", self.stats.to_dict, "Transport frame/byte counters"
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -246,6 +256,8 @@ class NetServer:
                 await self._handle_submit(connection, frame)
             elif msg_type is MessageType.DRAIN:
                 await self._handle_drain(connection)
+            elif msg_type is MessageType.STATS:
+                await self._handle_stats(connection)
             else:
                 await self._send_error(
                     connection,
@@ -317,6 +329,12 @@ class NetServer:
                 await self._send_result(connection, outcome.request.request_id, outcome)
         await self._send(connection, MessageType.DRAINED, b"")
 
+    async def _handle_stats(self, connection: _Connection) -> None:
+        """Scrape the serving registry (including this transport's view)."""
+        snapshot = self.server.metrics()
+        self.last_stats = snapshot
+        await self._send(connection, MessageType.STATS_REPLY, protocol.encode_stats(snapshot))
+
     # -- replies -----------------------------------------------------------------
 
     async def _send_result(self, connection: _Connection, request_id: int, outcome) -> None:
@@ -329,6 +347,17 @@ class NetServer:
             outcome.completed_s,
         )
         await self._send(connection, MessageType.RESULT, payload)
+        tracer = self.server.tracer
+        if tracer is not None:
+            # Keyed on the *server-side* request id (live-mode clients
+            # number their own); replay stamps the simulated completion so
+            # deterministic traces keep deterministic spans, live stamps
+            # the wall clock the rest of the async span already uses.
+            if self.mode == "replay":
+                reply_s = outcome.completed_s
+            else:
+                reply_s = asyncio.get_running_loop().time() - self.server._async_epoch
+            tracer.on_reply(outcome.request.request_id, reply_s)
 
     async def _send_error(
         self, connection: _Connection, defect: ProtocolError, request_id: int = 0

@@ -1,0 +1,195 @@
+"""Trace exporters: JSONL span dumps and Chrome ``trace_event`` timelines.
+
+Two file formats over :class:`~repro.obs.trace.Span` lists:
+
+* **JSONL** (:func:`spans_to_jsonl` / :func:`write_jsonl`) — one JSON
+  object per span per line with sorted keys, the machine-readable dump
+  CI archives and sweeps post-process;
+* **Chrome trace_event** (:func:`chrome_trace` / :func:`write_chrome_trace`)
+  — the JSON timeline format ``chrome://tracing`` and Perfetto load: each
+  request renders as its own lane with ``queue`` → ``wait`` → ``execute``
+  slices, and each device as a lane of the batches (or pipeline stages)
+  it ran, so "where did request X spend its time" is one click.
+
+The Prometheus text exposition lives with the registry
+(:meth:`repro.obs.metrics.MetricsRegistry.render_prometheus`); the wire
+exporter is the net protocol's ``STATS`` frame
+(:func:`repro.net.protocol.encode_stats`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.obs.trace import Span
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """Serialize spans as JSON Lines (one sorted-key object per line)."""
+    return "".join(
+        json.dumps(span.to_dict(), sort_keys=True) + "\n" for span in spans
+    )
+
+
+def write_jsonl(spans: Iterable[Span], path: str) -> int:
+    """Write a JSONL span dump to ``path``; returns the span count."""
+    spans = list(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(spans_to_jsonl(spans))
+    return len(spans)
+
+
+def _us(t_s: float) -> float:
+    """Chrome trace timestamps are microseconds."""
+    return t_s * 1e6
+
+
+#: ``pid`` lanes of the Chrome trace: requests on one, devices on the other.
+_REQUESTS_PID = 0
+_DEVICES_PID = 1
+
+
+def chrome_trace(spans: Sequence[Span]) -> dict:
+    """Render spans as a Chrome ``trace_event`` JSON object.
+
+    Per request (``pid`` 0, one ``tid`` per request id): a ``queue`` slice
+    from enqueue to batch admission, a ``wait`` slice from admission to
+    device start, an ``execute`` slice over the device window, and — when
+    the span travelled the wire — a ``reply`` instant.  Per device
+    (``pid`` 1, one ``tid`` per device index): one slice per batch, or one
+    per pipeline stage when the layout staged it.  Load the result in
+    ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": _REQUESTS_PID,
+            "name": "process_name",
+            "args": {"name": "requests"},
+        },
+        {
+            "ph": "M",
+            "pid": _DEVICES_PID,
+            "name": "process_name",
+            "args": {"name": "devices"},
+        },
+    ]
+    batches_drawn: set[int] = set()
+    for span in spans:
+        tid = span.request_id
+        events.append(
+            {
+                "ph": "M",
+                "pid": _REQUESTS_PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": f"req {span.request_id} ({span.tenant})"},
+            }
+        )
+        args = {
+            "tenant": span.tenant,
+            "kind": span.kind,
+            "items": span.items,
+            "pbs": span.pbs,
+            "batch_id": span.batch_id,
+            "flush_reason": span.flush_reason,
+        }
+        if span.admit_s is not None:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": _REQUESTS_PID,
+                    "tid": tid,
+                    "cat": "serve",
+                    "name": "queue",
+                    "ts": _us(span.enqueue_s),
+                    "dur": _us(span.admit_s - span.enqueue_s),
+                    "args": args,
+                }
+            )
+        if span.admit_s is not None and span.execute_s is not None:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": _REQUESTS_PID,
+                    "tid": tid,
+                    "cat": "serve",
+                    "name": "wait",
+                    "ts": _us(span.admit_s),
+                    "dur": _us(span.execute_s - span.admit_s),
+                    "args": args,
+                }
+            )
+        if span.execute_s is not None and span.complete_s is not None:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": _REQUESTS_PID,
+                    "tid": tid,
+                    "cat": "serve",
+                    "name": "execute",
+                    "ts": _us(span.execute_s),
+                    "dur": _us(span.complete_s - span.execute_s),
+                    "args": {**args, "device": span.device, "devices": list(span.devices)},
+                }
+            )
+        if span.reply_s is not None:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _REQUESTS_PID,
+                    "tid": tid,
+                    "cat": "net",
+                    "name": "reply",
+                    "ts": _us(span.reply_s),
+                    "args": {"request_id": span.request_id},
+                }
+            )
+        # Device lanes: one slice per batch (or per pipeline stage), drawn
+        # from the first span of each batch — every member shares the window.
+        if (
+            span.batch_id is None
+            or span.batch_id in batches_drawn
+            or span.execute_s is None
+            or span.complete_s is None
+        ):
+            continue
+        batches_drawn.add(span.batch_id)
+        if span.stages:
+            for stage in span.stages:
+                events.append(
+                    {
+                        "ph": "X",
+                        "pid": _DEVICES_PID,
+                        "tid": stage.device,
+                        "cat": "device",
+                        "name": f"batch {span.batch_id} stage {stage.stage}",
+                        "ts": _us(stage.start_s),
+                        "dur": _us(stage.end_s - stage.start_s),
+                        "args": {"batch_id": span.batch_id, "pbs": stage.pbs},
+                    }
+                )
+        else:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": _DEVICES_PID,
+                    "tid": span.device if span.device is not None else 0,
+                    "cat": "device",
+                    "name": f"batch {span.batch_id}",
+                    "ts": _us(span.execute_s),
+                    "dur": _us(span.complete_s - span.execute_s),
+                    "args": {"batch_id": span.batch_id, "flush_reason": span.flush_reason},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Sequence[Span], path: str) -> int:
+    """Write a Chrome trace to ``path``; returns the event count."""
+    trace = chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, sort_keys=True)
+    return len(trace["traceEvents"])

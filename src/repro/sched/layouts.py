@@ -148,6 +148,16 @@ class PlacementLayout(abc.ABC):
         """Stage-plan cache counters (empty for layouts that don't plan)."""
         return {}
 
+    @property
+    def runtime_stats(self) -> dict[str, float]:
+        """Live placement state for the metrics registry's layout view.
+
+        Stateless layouts report nothing; the elastic layout surfaces its
+        autoscaling counters.  Sampled at metrics-collection time, so a
+        scrape mid-run sees the current fleet, not an end-of-run summary.
+        """
+        return {}
+
     # -- key residency -----------------------------------------------------------
 
     def _key_shipping_s(
@@ -613,6 +623,15 @@ class ElasticLayout(PlacementLayout):
         self._available_at = {}
         self.scale_ups = 0
         self.scale_downs = 0
+
+    @property
+    def runtime_stats(self) -> dict[str, float]:
+        """Autoscaling counters and the currently active device count."""
+        return {
+            "active_devices": float(len(self._active)),
+            "scale_ups": float(self.scale_ups),
+            "scale_downs": float(self.scale_downs),
+        }
 
     def _effective_busy(self, cluster: "StrixCluster", index: int) -> float:
         return max(

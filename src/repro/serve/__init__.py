@@ -72,6 +72,7 @@ from repro.serve.metrics import (
     LatencySummary,
     MetricsCollector,
     ServeMetrics,
+    ServeSnapshot,
     percentile,
 )
 from repro.serve.queue import RequestQueue
@@ -113,6 +114,7 @@ __all__ = [
     "ServeConfig",
     "ServeMetrics",
     "ServeReport",
+    "ServeSnapshot",
     "Server",
     "ShardingPolicy",
     "StrixCluster",

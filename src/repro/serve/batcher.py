@@ -32,9 +32,13 @@ completion tracking without saving any cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.serve.queue import RequestQueue
 from repro.serve.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.obs.trace import Tracer
 
 
 @dataclass(frozen=True)
@@ -88,6 +92,7 @@ class AdaptiveBatcher:
         max_delay_s: float,
         qos: str = "fifo",
         tenant_weights: dict[str, float] | None = None,
+        observer: "Tracer | None" = None,
     ):
         if capacity_items < 1:
             raise ValueError("batch capacity must be at least one item")
@@ -104,6 +109,8 @@ class AdaptiveBatcher:
         self.max_delay_s = max_delay_s
         self.qos = qos
         self.tenant_weights = weights
+        #: Tracer notified on every flushed batch (``None`` = tracing off).
+        self.observer = observer
         self.batches_flushed = 0
         self.flush_reasons: dict[str, int] = {}
         # Weighted-fair-queuing state: per-tenant virtual finish tags and the
@@ -248,4 +255,6 @@ class AdaptiveBatcher:
         )
         self.batches_flushed += 1
         self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+        if self.observer is not None:
+            self.observer.on_batch(batch)
         return batch

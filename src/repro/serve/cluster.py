@@ -155,6 +155,9 @@ class StrixCluster:
         self.config = config
         self.policy = get_policy(policy)
         self.layout = get_layout(layout)
+        #: Tracer notified on every serving dispatch (``None`` = tracing off);
+        #: installed by :meth:`repro.serve.Server.enable_tracing`.
+        self.tracer = None
         self.cost_model = get_cost_model(cost_model)
         if isinstance(self.cost_model, ScheduleCache):
             if cost_cache_capacity == 0:
@@ -250,7 +253,10 @@ class StrixCluster:
         breakdown — transfer, dispatch overhead, key shipping, per-stage
         detail under the pipeline layout.
         """
-        return self.layout.dispatch(self, batch, now, params)
+        dispatch = self.layout.dispatch(self, batch, now, params)
+        if self.tracer is not None:
+            self.tracer.on_dispatch(batch, dispatch)
+        return dispatch
 
     def reset_serving_state(self) -> None:
         """Clear every device's busy horizon and counters (and policy,

@@ -19,11 +19,22 @@ from repro.serve.request import RequestOutcome
 
 
 def percentile(values: list[float], q: float) -> float:
-    """Linear-interpolation percentile (``q`` in [0, 100]) of a sample."""
+    """Linear-interpolation percentile (``q`` in [0, 100]) of a sample.
+
+    An empty sample raises ``ValueError`` — there is no percentile of
+    nothing, and the historical silent ``0.0`` let empty-measurement bugs
+    masquerade as zero latency.  Callers with a meaningful default guard
+    explicitly (as :meth:`LatencySummary.from_samples` does).  A single
+    sample is its own value for every ``q``.
+    """
     if not values:
-        return 0.0
+        raise ValueError("cannot take a percentile of an empty sample")
     if not 0.0 <= q <= 100.0:
         raise ValueError("percentile must be between 0 and 100")
+    if len(values) == 1:
+        # np.percentile agrees bit-for-bit; the early return just makes the
+        # single-sample contract explicit (and skips the array round trip).
+        return float(values[0])
     return float(np.percentile(values, q))
 
 
@@ -39,6 +50,13 @@ class LatencySummary:
 
     @classmethod
     def from_samples(cls, samples: list[float]) -> "LatencySummary":
+        """Summarize a latency sample list.
+
+        No samples yields the explicit all-zero summary with ``count == 0``
+        (a report must still serialize when a run resolved nothing —
+        ``count`` is the "was anything measured" flag, not the zeros).  One
+        sample is its own mean, p50, p99 and max exactly.
+        """
         if not samples:
             return cls(count=0, mean_s=0.0, p50_s=0.0, p99_s=0.0, max_s=0.0)
         return cls(
@@ -176,6 +194,52 @@ class ServeMetrics:
                 f"{costs.get('evictions', 0)} evictions"
             )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ServeSnapshot:
+    """One instant of a serving run — what :meth:`repro.serve.Server.watch`
+    yields periodically to live consumers (dashboards, the future
+    autotuning controller).
+
+    Unlike :class:`ServeMetrics` (an end-of-run summary), a snapshot is a
+    point-in-time reading: current queue composition, how far the devices'
+    busy horizons run past *now* (``backlog_s``), utilization so far, and
+    per-tenant p99 over the most recent outcome window.
+    """
+
+    #: Reading time on the serving clock.
+    t_s: float
+    #: Outcomes resolved so far in the active run.
+    requests_done: int
+    queue_depth: int
+    queued_items: int
+    queued_pbs: int
+    #: How long the queue head has been waiting (0 when empty).
+    oldest_wait_s: float
+    #: How far the busiest device's horizon runs past ``t_s`` (0 when idle).
+    backlog_s: float
+    #: Busy fraction per device since the run started.
+    device_utilization: dict[str, float] = field(default_factory=dict)
+    #: Waiting request count per tenant (zero entries omitted).
+    tenant_depths: dict[str, int] = field(default_factory=dict)
+    #: Per-tenant p99 latency over the trailing outcome window.
+    tenant_p99_s: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation."""
+        return {
+            "t_s": self.t_s,
+            "requests_done": self.requests_done,
+            "queue_depth": self.queue_depth,
+            "queued_items": self.queued_items,
+            "queued_pbs": self.queued_pbs,
+            "oldest_wait_s": self.oldest_wait_s,
+            "backlog_s": self.backlog_s,
+            "device_utilization": dict(self.device_utilization),
+            "tenant_depths": dict(self.tenant_depths),
+            "tenant_p99_s": dict(self.tenant_p99_s),
+        }
 
 
 class MetricsCollector:

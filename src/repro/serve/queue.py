@@ -8,19 +8,29 @@ next request *per tenant* (weighted fair queuing, where a flooding tenant
 no longer pushes everyone else's work back).  Either way the queue keeps
 the counters the metrics layer and the flush decisions need: instantaneous
 and peak depth, queued items/PBS, and per-tenant composition.
+
+An optional ``observer`` (a :class:`repro.obs.Tracer`) is notified on
+every :meth:`RequestQueue.push` — the enqueue hook of request tracing.
+Observation never affects queueing.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING
 
 from repro.serve.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.obs.trace import Tracer
 
 
 class RequestQueue:
     """Arrival-ordered queue of pending :class:`Request` objects."""
 
-    def __init__(self) -> None:
+    def __init__(self, observer: "Tracer | None" = None) -> None:
+        #: Tracer notified on every push (``None`` = tracing off).
+        self.observer = observer
         #: Per-tenant FIFO of ``(sequence, request)``; arrival order across
         #: tenants is recovered by comparing head sequence numbers.
         self._by_tenant: dict[str, deque[tuple[int, Request]]] = {}
@@ -111,6 +121,8 @@ class RequestQueue:
         self.peak_depth = max(self.peak_depth, self._depth)
         self._queued_items += request.items
         self._queued_pbs += request.total_pbs
+        if self.observer is not None:
+            self.observer.on_enqueue(request)
 
     def pop(self) -> Request:
         """Dequeue the oldest request across all tenants."""

@@ -29,6 +29,8 @@ from typing import Any, Iterable
 
 from repro.arch.config import StrixClusterConfig
 from repro.arch.key_cache import KeyEvictionPolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.params import TFHEParameters
 from repro.runtime.result import RunResult
 from repro.runtime.session import Session
@@ -37,7 +39,12 @@ from repro.sched.cost import CostModel
 from repro.sched.layouts import PlacementLayout
 from repro.serve.batcher import AdaptiveBatcher, Batch
 from repro.serve.cluster import StrixCluster, resolve_cluster_params
-from repro.serve.metrics import MetricsCollector, ServeMetrics
+from repro.serve.metrics import (
+    MetricsCollector,
+    ServeMetrics,
+    ServeSnapshot,
+    percentile,
+)
 from repro.serve.queue import RequestQueue
 from repro.serve.request import Request, RequestKind, RequestOutcome
 from repro.serve.sharding import ShardingPolicy
@@ -221,7 +228,73 @@ class Server:
             if config.batch_capacity is not None
             else self.cluster.device_epoch_capacity(self.params)
         )
-        self.queue = RequestQueue()
+        #: Request tracer (``None`` until :meth:`enable_tracing`).
+        self.tracer: Tracer | None = None
+        #: Always-on unified metrics registry (see :mod:`repro.obs`):
+        #: serving counters/histograms fed by :meth:`_dispatch` plus live
+        #: views over the subsystems' historical counter dicts — which stay
+        #: the single source of truth, so :class:`ServeReport` is untouched.
+        self.registry = MetricsRegistry()
+        self._requests_total = self.registry.counter(
+            "serve_requests_total", "Requests dispatched to the cluster"
+        )
+        self._batches_total = self.registry.counter(
+            "serve_batches_total", "Batches the batcher flushed to devices"
+        )
+        self._items_total = self.registry.counter(
+            "serve_items_total", "Batchable items dispatched"
+        )
+        self._pbs_total = self.registry.counter(
+            "serve_pbs_total", "Bootstraps dispatched"
+        )
+        self._latency_hist = self.registry.histogram(
+            "serve_latency_seconds", "End-to-end request latency"
+        )
+        self._queue_delay_hist = self.registry.histogram(
+            "serve_queue_delay_seconds", "Arrival-to-dispatch queueing delay"
+        )
+        # Views close over self (not the current queue/batcher objects):
+        # simulate/replay/async re-create both, and the view must follow.
+        self.registry.register_view(
+            "serve_queue",
+            lambda: {
+                "depth": self.queue.depth,
+                "peak_depth": self.queue.peak_depth,
+                "queued_items": self.queue.queued_items,
+                "queued_pbs": self.queue.queued_pbs,
+                "total_enqueued": self.queue.total_enqueued,
+            },
+            "Request-queue composition",
+        )
+        self.registry.register_view(
+            "serve_batcher",
+            lambda: {
+                "batches_flushed": self.batcher.batches_flushed,
+                **{
+                    f"flush_{reason}": count
+                    for reason, count in sorted(self.batcher.flush_reasons.items())
+                },
+            },
+            "Adaptive-batcher flush counters",
+        )
+        self.registry.register_view(
+            "serve_key_cache", lambda: self.cluster.key_cache_stats,
+            "Key-residency counters",
+        )
+        self.registry.register_view(
+            "serve_cost_cache", lambda: self.cluster.cost_cache_stats,
+            "Schedule-cache counters",
+        )
+        self.registry.register_view(
+            "serve_stage_plan_cache",
+            lambda: self.cluster.layout.plan_cache_stats,
+            "Pipeline stage-plan cache counters",
+        )
+        self.registry.register_view(
+            "serve_layout", lambda: self.cluster.layout.runtime_stats,
+            "Placement-layout runtime state",
+        )
+        self.queue = self._make_queue()
         self.batcher = self._make_batcher()
         self._tenants: dict[str, TenantState] = {}
         self._request_counter = 0
@@ -241,6 +314,10 @@ class Server:
         self._replay_last_completion = 0.0
         self._replay_last_arrival = 0.0
 
+    def _make_queue(self) -> RequestQueue:
+        """A fresh queue carrying the installed tracer (if any)."""
+        return RequestQueue(observer=self.tracer)
+
     def _make_batcher(self) -> AdaptiveBatcher:
         """A fresh batcher honouring the configured QoS discipline."""
         return AdaptiveBatcher(
@@ -248,7 +325,111 @@ class Server:
             self.config.max_batch_delay_s,
             qos=self.config.qos,
             tenant_weights=self.config.tenant_weights,
+            observer=self.tracer,
         )
+
+    # -- observability ------------------------------------------------------------
+
+    def enable_tracing(self, tracer: Tracer | None = None) -> Tracer:
+        """Install a request tracer on the serving pipeline and return it.
+
+        The tracer's lifecycle hooks attach to the queue (enqueue), the
+        batcher (batch admission) and the cluster (device dispatch); the
+        :mod:`repro.net` front-end additionally reports reply times.
+        Tracing is *pure observation* — batching, placement and the
+        resulting :class:`ServeReport` are byte-identical with it on or
+        off — and survives the fresh queues/batchers that
+        :meth:`simulate`, :meth:`replay_begin` and the async context
+        create.  Pass an existing :class:`~repro.obs.Tracer` to share one
+        across servers; call :meth:`disable_tracing` to detach.
+        """
+        if tracer is None:
+            tracer = Tracer()
+        self.tracer = tracer
+        self.queue.observer = tracer
+        self.batcher.observer = tracer
+        self.cluster.tracer = tracer
+        return tracer
+
+    def disable_tracing(self) -> None:
+        """Detach the tracer from every lifecycle hook."""
+        self.tracer = None
+        self.queue.observer = None
+        self.batcher.observer = None
+        self.cluster.tracer = None
+
+    def metrics(self) -> dict[str, float]:
+        """One flat snapshot of the unified registry.
+
+        Serving counters and latency histograms plus the live views
+        (queue, batcher, key/cost/stage-plan caches, layout, and — behind
+        a :class:`~repro.net.NetServer` — the wire).  This is exactly what
+        the net protocol's ``STATS`` frame serializes.
+        """
+        return self.registry.collect()
+
+    def snapshot(self, window: int = 256, now_s: float | None = None) -> ServeSnapshot:
+        """A point-in-time reading of the serving state.
+
+        ``now_s`` defaults to the wall clock of the active async context
+        (requires a running event loop) or the serving clock otherwise;
+        ``window`` bounds the trailing outcomes the per-tenant p99 is
+        computed over.  This is the feed :meth:`watch` yields periodically.
+        """
+        if now_s is None:
+            if self._async_metrics is not None:
+                now_s = asyncio.get_running_loop().time() - self._async_epoch
+            else:
+                now_s = self._clock
+        collector = (
+            self._async_metrics
+            if self._async_metrics is not None
+            else self._replay_metrics
+        )
+        outcomes = collector.outcomes if collector is not None else []
+        recent = outcomes[-window:] if window > 0 else []
+        per_tenant: dict[str, list[float]] = {}
+        for outcome in recent:
+            per_tenant.setdefault(outcome.request.tenant, []).append(
+                outcome.latency_s
+            )
+        oldest = self.queue.oldest()
+        backlog = max(
+            (device.busy_until for device in self.cluster.devices), default=0.0
+        )
+        return ServeSnapshot(
+            t_s=now_s,
+            requests_done=len(outcomes),
+            queue_depth=self.queue.depth,
+            queued_items=self.queue.queued_items,
+            queued_pbs=self.queue.queued_pbs,
+            oldest_wait_s=max(now_s - oldest.arrival_s, 0.0) if oldest else 0.0,
+            backlog_s=max(backlog - now_s, 0.0),
+            device_utilization=self.cluster.device_utilization(now_s),
+            tenant_depths=self.queue.tenant_depths,
+            tenant_p99_s={
+                tenant: percentile(samples, 99.0)
+                for tenant, samples in sorted(per_tenant.items())
+            },
+        )
+
+    async def watch(self, interval_s: float = 0.05, window: int = 256):
+        """Yield a :class:`~repro.serve.metrics.ServeSnapshot` every
+        ``interval_s`` while the async context is active.
+
+        The live tap: per-tenant p99 over the trailing ``window`` outcomes,
+        queue backlog and device utilization — the feed an online
+        controller (ROADMAP item 5) consumes.  The generator ends when the
+        ``async with`` block closes.
+        """
+        if self._async_metrics is None:
+            raise RuntimeError(
+                "watch() needs an active async context: "
+                "use `async with Server(...) as server`"
+            )
+        while self._async_metrics is not None:
+            yield self.snapshot(window=window)
+            await asyncio.sleep(interval_s)
 
     # -- tenants -----------------------------------------------------------------
 
@@ -352,7 +533,7 @@ class Server:
             while self.queue:
                 pending.append(self.queue.pop())
             pending.sort(key=lambda request: request.arrival_s)
-        self.queue = RequestQueue()
+        self.queue = self._make_queue()
 
         self.cluster.reset_serving_state()
         self.batcher = self._make_batcher()
@@ -419,6 +600,13 @@ class Server:
             for request in batch.requests
         ]
         metrics.record_batch(batch, outcomes, dispatch.breakdown)
+        self._requests_total.inc(len(batch.requests))
+        self._batches_total.inc()
+        self._items_total.inc(batch.total_items)
+        self._pbs_total.inc(batch.total_pbs)
+        for outcome in outcomes:
+            self._latency_hist.observe(outcome.latency_s)
+            self._queue_delay_hist.observe(outcome.queue_delay_s)
         self._resolve_futures(outcomes)
         return dispatch.end_s
 
@@ -447,7 +635,7 @@ class Server:
                 "discard them before starting a replay"
             )
         self.cluster.reset_serving_state()
-        self.queue = RequestQueue()
+        self.queue = self._make_queue()
         self.batcher = self._make_batcher()
         self._replay_metrics = MetricsCollector(self.batch_capacity)
         self._replay_emitted = 0
@@ -576,7 +764,7 @@ class Server:
         self._wake = asyncio.Event()
         # Fresh queue/batcher so the async report's flush and depth stats
         # are not polluted by earlier simulations on this server.
-        self.queue = RequestQueue()
+        self.queue = self._make_queue()
         self.batcher = self._make_batcher()
         self.cluster.reset_serving_state()
         self._flusher = loop.create_task(self._flush_loop())

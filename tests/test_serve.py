@@ -163,9 +163,17 @@ def test_percentile_interpolation():
     assert percentile(values, 0) == 1.0
     assert percentile(values, 100) == 4.0
     assert percentile(values, 50) == pytest.approx(2.5)
-    assert percentile([], 50) == 0.0
+    with pytest.raises(ValueError, match="empty"):
+        percentile([], 50)
     with pytest.raises(ValueError):
         percentile(values, 101)
+
+
+def test_percentile_single_sample_is_exact():
+    # A one-element sample must come back bit-for-bit, at every rank.
+    value = 0.1 + 0.2  # deliberately not exactly representable
+    for q in (0, 37.5, 50, 99, 100):
+        assert percentile([value], q) == value
 
 
 def test_latency_summary_orders_percentiles():
