@@ -21,7 +21,29 @@ from repro.apps.deep_nn import ZAMA_DEEP_NN_MODELS, build_deep_nn_graph
 from repro.apps.workloads import pbs_batch_graph
 from repro.arch.accelerator import StrixAccelerator
 from repro.params import DEEP_NN_N1024, PARAM_SET_I
+from repro.runtime.session import Session
 from repro.sim.scheduler import StrixScheduler
+
+#: Batch size of the ``kernel/*`` scalar-vs-vectorized comparison: the
+#: paper's epoch-level gate batch (and the ISSUE's ≥5× speedup target).
+KERNEL_BENCH_BATCH = 64
+
+
+def _kernel_bench_session() -> tuple[Session, list, list]:
+    """A TOY session plus two encrypted boolean operand batches of 64."""
+    session = Session("TOY", seed=0)
+    session.generate_server_keys()
+    lhs = session.encrypt_boolean_batch([bool(i & 1) for i in range(KERNEL_BENCH_BATCH)])
+    rhs = session.encrypt_boolean_batch([bool(i & 2) for i in range(KERNEL_BENCH_BATCH)])
+    return session, lhs, rhs
+
+
+def _gate_batch_with(session: Session, kernels: str, lhs, rhs):
+    session.kernels = kernels
+    try:
+        return session.gate_batch("and", lhs, rhs)
+    finally:
+        session.kernels = "scalar"
 
 
 @pytest.fixture(scope="module")
@@ -51,6 +73,12 @@ def test_bench_pbs_performance_sweep(benchmark):
 
     results = benchmark(sweep)
     assert len(results) == 4
+
+
+def test_bench_vectorized_gate_bootstrap_batch64(benchmark):
+    session, lhs, rhs = _kernel_bench_session()
+    results = benchmark(_gate_batch_with, session, "vectorized", lhs, rhs)
+    assert len(results) == KERNEL_BENCH_BATCH
 
 
 def main() -> None:
@@ -106,6 +134,35 @@ def main() -> None:
             performance.throughput_pbs_per_s,
             "PBS/s",
         )
+    # kernel/* family: scalar vs vectorized batch-64 gate bootstrap on the
+    # real TFHE substrate.  The timings are wall clock (judged loosely); the
+    # bit_exact record is deterministic — it flips to 0.0 if the vectorized
+    # chain ever diverges from the scalar reference, which the regression
+    # gate treats as a hard failure.
+    session, lhs, rhs = _kernel_bench_session()
+    scalar_s = report.time(
+        "kernel/gate_bootstrap_batch64/scalar",
+        lambda: _gate_batch_with(session, "scalar", lhs, rhs),
+        repeats=1,
+    )
+    vectorized_s = report.time(
+        "kernel/gate_bootstrap_batch64/vectorized",
+        lambda: _gate_batch_with(session, "vectorized", lhs, rhs),
+        repeats=3,
+    )
+    report.add(
+        "kernel/gate_bootstrap_batch64/speedup",
+        scalar_s / vectorized_s,
+        "x",
+        timed=True,
+    )
+    scalar_out = _gate_batch_with(session, "scalar", lhs, rhs)
+    vectorized_out = _gate_batch_with(session, "vectorized", lhs, rhs)
+    bit_exact = all(
+        (a.mask == b.mask).all() and a.body == b.body
+        for a, b in zip(scalar_out, vectorized_out)
+    )
+    report.add("kernel/gate_bootstrap_batch64/bit_exact", float(bit_exact), "bool")
     path = report.write(args.output)
     print(f"[saved {len(report.records)} records to {path}]")
 

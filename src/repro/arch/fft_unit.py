@@ -23,8 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.arch.config import StrixConfig
-from repro.fft.folding import FoldedNegacyclicTransform
-from repro.fft.negacyclic import NegacyclicTransform
+from repro.fft.registry import get_folded_transform, get_negacyclic_transform
 
 
 @dataclass(frozen=True)
@@ -174,14 +173,14 @@ class PipelinedFFTUnit:
         """Bit-accurate forward transform of a polynomial (for validation)."""
         degree = len(polynomial)
         if self.folding:
-            return FoldedNegacyclicTransform(degree).forward(polynomial)
-        return NegacyclicTransform(degree).forward(polynomial)
+            return get_folded_transform(degree).forward(polynomial)
+        return get_negacyclic_transform(degree).forward(polynomial)
 
     def functional_inverse(self, spectrum: np.ndarray, degree: int) -> np.ndarray:
         """Bit-accurate inverse transform (for validation)."""
         if self.folding:
-            return FoldedNegacyclicTransform(degree).inverse(spectrum)
-        return NegacyclicTransform(degree).inverse(spectrum)
+            return get_folded_transform(degree).inverse(spectrum)
+        return get_negacyclic_transform(degree).inverse(spectrum)
 
     @classmethod
     def from_config(cls, config: StrixConfig) -> "PipelinedFFTUnit":

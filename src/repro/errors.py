@@ -83,3 +83,14 @@ class UnknownMetricError(UnknownNameError):
     """Unknown metric name in a :class:`repro.obs.MetricsRegistry`."""
 
     kind = "metric"
+
+
+class UnknownKernelError(UnknownNameError, ValueError):
+    """Unknown kernel-backend name (``"scalar"`` / ``"vectorized"``).
+
+    Also a ``ValueError``: the kernels knob is an argument-validation
+    surface (``Session(kernels=...)``, ``run(..., kernels=...)``) and its
+    callers match on ``ValueError`` like every other bad-argument path.
+    """
+
+    kind = "kernel backend"

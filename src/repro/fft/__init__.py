@@ -10,15 +10,30 @@ polynomial using an ``N/2``-point complex FFT.  This package provides:
 * :mod:`repro.fft.negacyclic` — the classic twisted full-size FFT transform.
 * :mod:`repro.fft.folding` — the half-size folded transform used by the
   paper's FFT unit (Klemsa-style mapping onto ``C[X]/(X^{N/2} - i)``).
+* :mod:`repro.fft.registry` — the per-degree instance cache (with hit/miss
+  accounting) every hot-path caller shares instead of rebuilding twiddle
+  tables per ciphertext.
 """
 
 from repro.fft.reference import naive_negacyclic_convolution, naive_dft
 from repro.fft.negacyclic import NegacyclicTransform
 from repro.fft.folding import FoldedNegacyclicTransform
+from repro.fft.registry import (
+    clear_transform_caches,
+    get_folded_transform,
+    get_negacyclic_transform,
+    register_transform_cache_view,
+    transform_cache_stats,
+)
 
 __all__ = [
     "naive_negacyclic_convolution",
     "naive_dft",
     "NegacyclicTransform",
     "FoldedNegacyclicTransform",
+    "get_negacyclic_transform",
+    "get_folded_transform",
+    "transform_cache_stats",
+    "register_transform_cache_view",
+    "clear_transform_caches",
 ]

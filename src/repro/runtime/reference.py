@@ -12,12 +12,21 @@ from __future__ import annotations
 import time
 from typing import Any, Mapping, Sequence
 
+import numpy as np
+
 from repro.params import TFHEParameters
 from repro.runtime.backend import Backend, register_backend
 from repro.runtime.result import RunResult
 from repro.runtime.session import _GATE_METHODS, Session
 from repro.runtime.workload import WorkloadLike, as_netlist
 from repro.sim.compiler import Netlist, Operation
+from repro.tfhe.batch import (
+    LweBatch,
+    batch_gate,
+    batch_programmable_bootstrap,
+    resolve_kernels,
+)
+from repro.tfhe.context import ServerKeys
 from repro.tfhe.lut import LookUpTable
 from repro.tfhe.lwe import LweCiphertext
 
@@ -54,6 +63,7 @@ class ReferenceBackend(Backend):
         inputs: Mapping[str, Any] | Sequence[Mapping[str, Any]] | None = None,
         instances: int = 1,
         outputs: Sequence[str] | None = None,
+        kernels: str | None = None,
         **options: Any,
     ) -> RunResult:
         """Execute a netlist functionally and decrypt its outputs.
@@ -63,6 +73,14 @@ class ReferenceBackend(Backend):
         pre-encrypted ciphertexts; missing wires default to ``False``.  Pass
         a list of mappings to execute several independent instances — the
         batch the accelerator would fold into one epoch.
+
+        ``kernels`` selects the execution backend for the instance batch:
+        ``"scalar"`` interprets instances one by one with the per-ciphertext
+        kernels, ``"vectorized"`` stacks all instances and runs each
+        operation once through the batch kernels of :mod:`repro.tfhe.batch`
+        (bit-for-bit equal server-side, so decrypted outputs are identical).
+        ``None`` (default) inherits the session's ``kernels`` setting, which
+        is ``"scalar"`` unless the caller opted in.
         """
         netlist = as_netlist(workload, params)
         if session is None:
@@ -73,6 +91,9 @@ class ReferenceBackend(Backend):
                 f"the workload's {netlist.params.name!r}"
             )
         session.generate_server_keys()
+        effective_kernels = (
+            session.kernels if kernels is None else resolve_kernels(kernels)
+        )
 
         if inputs is None:
             input_batches: list[Mapping[str, Any]] = [{}] * max(instances, 1)
@@ -94,10 +115,15 @@ class ReferenceBackend(Backend):
         }
 
         start = time.perf_counter()
-        decrypted: list[dict[str, int | bool]] = [
-            self._execute_instance(netlist, session, instance_inputs, output_wires, luts)
-            for instance_inputs in input_batches
-        ]
+        if effective_kernels == "vectorized" and input_batches:
+            decrypted = self._execute_batch(
+                netlist, session, input_batches, output_wires, luts
+            )
+        else:
+            decrypted = [
+                self._execute_instance(netlist, session, instance_inputs, output_wires, luts)
+                for instance_inputs in input_batches
+            ]
         elapsed = time.perf_counter() - start
 
         pbs_count = netlist.pbs_count() * len(input_batches)
@@ -108,7 +134,11 @@ class ReferenceBackend(Backend):
             latency_s=elapsed,
             pbs_count=pbs_count,
             outputs=decrypted,
-            details={"instances": len(input_batches), "wall_clock": True},
+            details={
+                "instances": len(input_batches),
+                "wall_clock": True,
+                "kernels": effective_kernels,
+            },
         )
 
     # -- interpreter ----------------------------------------------------------------
@@ -190,6 +220,133 @@ class ReferenceBackend(Backend):
                 accumulator = LweCiphertext.trivial(0, operands[0].dimension, session.params)
             tag = tags[operation.inputs[0]] if operation.inputs else _MESSAGE
             return accumulator, tag
+        raise ValueError(f"unknown operation kind {operation.kind!r}")
+
+    # -- batched interpreter ---------------------------------------------------------
+
+    def _execute_batch(
+        self,
+        netlist: Netlist,
+        session: Session,
+        input_batches: Sequence[Mapping[str, Any]],
+        output_wires: Sequence[str],
+        luts: Mapping[int, LookUpTable],
+    ) -> list[dict[str, int | bool]]:
+        """Execute all instances at once with the stacked batch kernels.
+
+        Each wire carries one :class:`LweBatch` holding every instance's
+        ciphertext, and each operation runs once over the whole stack.  The
+        batch kernels are bit-for-bit equal to the scalar interpreter, so
+        the decrypted outputs match ``_execute_instance`` exactly (only the
+        RNG *order* of input encryption differs: wire-major here versus
+        instance-major in the scalar loop).
+        """
+        keys = session.generate_server_keys()
+        values: dict[str, LweBatch] = {}
+        tags: dict[str, str] = {}
+        for wire in netlist.primary_inputs:
+            ciphertexts: list[LweCiphertext] = []
+            wire_tags: set[str] = set()
+            for instance_inputs in input_batches:
+                value = instance_inputs.get(wire, False)
+                if isinstance(value, LweCiphertext):
+                    ciphertexts.append(value)
+                    wire_tags.add(_ANY)
+                elif isinstance(value, bool):
+                    ciphertexts.append(session.encrypt_boolean(value))
+                    wire_tags.add(_BOOLEAN)
+                else:
+                    ciphertexts.append(session.encrypt(int(value)))
+                    wire_tags.add(_MESSAGE)
+            if len(wire_tags) != 1:
+                raise ValueError(
+                    f"vectorized kernels need one encoding per wire, but input wire "
+                    f"{wire!r} mixes {sorted(wire_tags)} across instances"
+                )
+            values[wire] = LweBatch.from_ciphertexts(ciphertexts)
+            tags[wire] = wire_tags.pop()
+
+        for index, operation in enumerate(netlist.operations):
+            values[operation.output], tags[operation.output] = self._apply_batch(
+                operation, session, keys, values, tags, luts.get(index)
+            )
+
+        results: list[dict[str, int | bool]] = [{} for _ in input_batches]
+        for wire in output_wires:
+            if wire not in values:
+                raise KeyError(f"requested output wire {wire!r} was never produced")
+            ciphertexts = values[wire].to_ciphertexts()
+            if tags[wire] == _BOOLEAN:
+                decoded: Sequence[int | bool] = session.decrypt_boolean_batch(ciphertexts)
+            else:
+                decoded = session.decrypt_batch(ciphertexts)
+            for result, value in zip(results, decoded):
+                result[wire] = value
+        return results
+
+    def _apply_batch(
+        self,
+        operation: Operation,
+        session: Session,
+        keys: ServerKeys,
+        values: dict[str, LweBatch],
+        tags: dict[str, str],
+        lut: LookUpTable | None,
+    ) -> tuple[LweBatch, str]:
+        operands = [values[wire] for wire in operation.inputs]
+        # Same encoding-domain policy as the scalar interpreter: gates work in
+        # the ±q/8 boolean encoding, lut/linear in the message encoding, and a
+        # wire crossing domains is rejected loudly.
+        wrong_tag = _MESSAGE if operation.kind == "gate" else _BOOLEAN
+        mismatched = [w for w in operation.inputs if tags[w] == wrong_tag]
+        if mismatched:
+            raise ValueError(
+                f"{operation.kind} operation {operation.output!r} consumes "
+                f"{wrong_tag}-encoded wire(s) {mismatched}; gates use the ±q/8 "
+                "boolean encoding while lut/linear operations use the integer "
+                "message encoding — the two cannot be mixed on one wire"
+            )
+        params = session.params
+        if operation.kind == "gate":
+            result = batch_gate(
+                operation.name,
+                tuple(operands),
+                keys.bootstrapping_key,
+                keys.keyswitching_key,
+                params,
+            )
+            return result, _BOOLEAN
+        if operation.kind == "lut":
+            accumulator = LweBatch(
+                sum(operand.masks for operand in operands),
+                sum(operand.bodies for operand in operands),
+                params,
+            )
+            entries = lut.entries
+            bootstrapped = batch_programmable_bootstrap(
+                accumulator,
+                lambda m: int(entries[m % len(entries)]),
+                keys.bootstrapping_key,
+                lut.params,
+                keys.keyswitching_key,
+            )
+            return bootstrapped.ciphertexts, _MESSAGE
+        if operation.kind == "linear":
+            coefficients = operation.coefficients or (1,) * len(operands)
+            masks: np.ndarray | None = None
+            bodies: np.ndarray | None = None
+            for coefficient, operand in zip(coefficients, operands):
+                if coefficient == 0:
+                    continue
+                term_masks = operand.masks * int(coefficient)
+                term_bodies = operand.bodies * int(coefficient)
+                masks = term_masks if masks is None else masks + term_masks
+                bodies = term_bodies if bodies is None else bodies + term_bodies
+            if masks is None or bodies is None:
+                masks = np.zeros((len(operands[0]), operands[0].dimension), dtype=np.int64)
+                bodies = np.zeros(len(operands[0]), dtype=np.int64)
+            tag = tags[operation.inputs[0]] if operation.inputs else _MESSAGE
+            return LweBatch(masks, bodies, params), tag
         raise ValueError(f"unknown operation kind {operation.kind!r}")
 
 

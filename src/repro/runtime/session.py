@@ -15,9 +15,20 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.arch.accelerator import StrixAccelerator
 from repro.params import TFHEParameters, TOY_PARAMETERS
 from repro.runtime.workload import WorkloadLike, resolve_params
+from repro.tfhe import encoding, torus
+from repro.tfhe.batch import (
+    LweBatch,
+    batch_encrypt,
+    batch_gate,
+    batch_phase,
+    batch_programmable_bootstrap,
+    resolve_kernels,
+)
 from repro.tfhe.bootstrap import BootstrapResult
 from repro.tfhe.context import ServerKeys, TFHEContext
 from repro.tfhe.gates import GateBootstrapper
@@ -38,6 +49,16 @@ class Session:
     accelerator:
         Strix model used to size batches (device/core batch geometry) and as
         the default simulation target; defaults to the paper's configuration.
+    kernels:
+        Kernel backend for the batch APIs: ``"scalar"`` (default) loops the
+        per-ciphertext reference kernels, ``"vectorized"`` stacks each epoch
+        into arrays and runs the bit-for-bit equal batch kernels of
+        :mod:`repro.tfhe.batch`.  Unknown names raise
+        :class:`repro.errors.UnknownKernelError` with a did-you-mean
+        suggestion.  Server-side results are identical either way; only
+        ``encrypt*_batch`` consumes the session RNG in a different order
+        (bulk draws), so vectorized encryptions are equally valid but not
+        byte-identical to a scalar-order transcript.
     """
 
     def __init__(
@@ -45,10 +66,12 @@ class Session:
         params: TFHEParameters | str = TOY_PARAMETERS,
         seed: int | None = None,
         accelerator: StrixAccelerator | None = None,
+        kernels: str = "scalar",
     ):
         resolved = resolve_params(params)
         self.context = TFHEContext(resolved, seed=seed)
         self.accelerator = accelerator or StrixAccelerator()
+        self.kernels = resolve_kernels(kernels)
         self._gates: GateBootstrapper | None = None
 
     # -- key material ------------------------------------------------------------
@@ -131,19 +154,42 @@ class Session:
 
     def encrypt_batch(self, messages: Iterable[int]) -> list[LweCiphertext]:
         """Encrypt a batch of integer messages."""
-        return [self.context.encrypt(message) for message in messages]
+        messages = list(messages)
+        if self.kernels == "scalar" or not messages:
+            return [self.context.encrypt(message) for message in messages]
+        values = encoding.encode_array(np.asarray(messages, dtype=np.int64), self.params)
+        batch = batch_encrypt(values, self.context.lwe_key.bits, self.params, self.context.rng)
+        return batch.to_ciphertexts()
 
     def decrypt_batch(self, ciphertexts: Iterable[LweCiphertext]) -> list[int]:
         """Decrypt a batch of integer ciphertexts."""
-        return [self.context.decrypt(ciphertext) for ciphertext in ciphertexts]
+        ciphertexts = list(ciphertexts)
+        if self.kernels == "scalar" or not ciphertexts:
+            return [self.context.decrypt(ciphertext) for ciphertext in ciphertexts]
+        batch = LweBatch.from_ciphertexts(ciphertexts)
+        phases = batch_phase(batch, self._key_bits_for(batch.dimension))
+        decoded = encoding.decode_array(phases, self.params)
+        return [int(value) for value in np.mod(decoded, self.params.message_modulus)]
 
     def encrypt_boolean_batch(self, values: Iterable[bool]) -> list[LweCiphertext]:
         """Encrypt a batch of booleans."""
-        return [self.context.encrypt_boolean(value) for value in values]
+        values = list(values)
+        if self.kernels == "scalar" or not values:
+            return [self.context.encrypt_boolean(value) for value in values]
+        eighth = self.params.q // 8
+        encoded = np.where(np.asarray(values, dtype=bool), eighth, self.params.q - eighth)
+        batch = batch_encrypt(encoded, self.context.lwe_key.bits, self.params, self.context.rng)
+        return batch.to_ciphertexts()
 
     def decrypt_boolean_batch(self, ciphertexts: Iterable[LweCiphertext]) -> list[bool]:
         """Decrypt a batch of boolean ciphertexts."""
-        return [self.context.decrypt_boolean(ciphertext) for ciphertext in ciphertexts]
+        ciphertexts = list(ciphertexts)
+        if self.kernels == "scalar" or not ciphertexts:
+            return [self.context.decrypt_boolean(ciphertext) for ciphertext in ciphertexts]
+        batch = LweBatch.from_ciphertexts(ciphertexts)
+        phases = batch_phase(batch, self._key_bits_for(batch.dimension))
+        signed = torus.to_signed(phases, self.params.q)
+        return [bool(value) for value in signed > 0]
 
     def bootstrap_batch(
         self,
@@ -154,10 +200,24 @@ class Session:
         """Bootstrap a batch of ciphertexts through the same function.
 
         Ciphertexts are processed in epoch-sized chunks (``batch_capacity``),
-        mirroring how the accelerator would schedule them; functionally every
-        chunk is a sequence of real PBS executions.
+        mirroring how the accelerator would schedule them.  With the
+        ``"vectorized"`` backend each chunk runs as one pass through the
+        stacked-array PBS chain; results are bit-for-bit identical to the
+        scalar loop.
         """
         refreshed: list[LweCiphertext] = []
+        if self.kernels == "vectorized" and ciphertexts:
+            keys = self.generate_server_keys()
+            for epoch in self.iter_epochs(ciphertexts):
+                result = batch_programmable_bootstrap(
+                    LweBatch.from_ciphertexts(list(epoch)),
+                    function,
+                    keys.bootstrapping_key,
+                    self.params,
+                    keys.keyswitching_key if keyswitch else None,
+                )
+                refreshed.extend(result.ciphertexts.to_ciphertexts())
+            return refreshed
         for epoch in self.iter_epochs(ciphertexts):
             for ciphertext in epoch:
                 result = self.context.programmable_bootstrap(ciphertext, function, keyswitch)
@@ -169,6 +229,19 @@ class Session:
     ) -> list[LweCiphertext]:
         """Apply one LUT across a batch of ciphertexts (one PBS each)."""
         applied: list[LweCiphertext] = []
+        if self.kernels == "vectorized" and ciphertexts:
+            keys = self.generate_server_keys()
+            entries = lut.entries
+            for epoch in self.iter_epochs(ciphertexts):
+                result = batch_programmable_bootstrap(
+                    LweBatch.from_ciphertexts(list(epoch)),
+                    lambda m: int(entries[m % len(entries)]),
+                    keys.bootstrapping_key,
+                    lut.params,
+                    keys.keyswitching_key,
+                )
+                applied.extend(result.ciphertexts.to_ciphertexts())
+            return applied
         for epoch in self.iter_epochs(ciphertexts):
             applied.extend(self.context.apply_lut(ciphertext, lut) for ciphertext in epoch)
         return applied
@@ -191,8 +264,31 @@ class Session:
         lengths = {len(batch) for batch in operand_batches}
         if len(lengths) != 1:
             raise ValueError(f"operand batches have mismatched lengths: {sorted(lengths)}")
+        if self.kernels == "vectorized" and lengths != {0}:
+            keys = self.generate_server_keys()
+            stacked = tuple(
+                LweBatch.from_ciphertexts(list(batch)) for batch in operand_batches
+            )
+            result = batch_gate(
+                gate, stacked, keys.bootstrapping_key, keys.keyswitching_key, self.params
+            )
+            return result.to_ciphertexts()
         method = getattr(self.gates(), _GATE_METHODS[gate])
         return [method(*operands) for operands in zip(*operand_batches)]
+
+    # -- internals -----------------------------------------------------------------
+
+    def _key_bits_for(self, dimension: int) -> np.ndarray:
+        """Secret-key bit vector matching an LWE dimension (``n`` or ``k*N``)."""
+        params = self.params
+        if dimension == params.n:
+            return self.context.lwe_key.bits
+        if dimension == params.k * params.N:
+            return self.context.glwe_key.extracted_lwe_key()
+        raise ValueError(
+            f"ciphertext dimension {dimension} matches neither the LWE key "
+            f"({params.n}) nor the extracted key ({params.k * params.N})"
+        )
 
     # -- execution facade --------------------------------------------------------------
 

@@ -29,6 +29,7 @@ from typing import Any, Iterable
 
 from repro.arch.config import StrixClusterConfig
 from repro.arch.key_cache import KeyEvictionPolicy
+from repro.fft.registry import register_transform_cache_view
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.params import TFHEParameters
@@ -294,6 +295,9 @@ class Server:
             "serve_layout", lambda: self.cluster.layout.runtime_stats,
             "Placement-layout runtime state",
         )
+        # Process-wide, not per-server: the negacyclic transform cache is
+        # shared by every scalar and vectorized kernel in the process.
+        register_transform_cache_view(self.registry)
         self.queue = self._make_queue()
         self.batcher = self._make_batcher()
         self._tenants: dict[str, TenantState] = {}

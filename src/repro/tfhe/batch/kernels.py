@@ -1,0 +1,336 @@
+"""Vectorized batch kernels: the PBS chain over stacked arrays.
+
+Each function here is the batch-axis twin of one scalar kernel — modulus
+switch (:func:`repro.tfhe.blind_rotate.modulus_switch`), negacyclic monomial
+rotation (:func:`repro.tfhe.polynomial.monomial_multiply`), the external
+product (:meth:`repro.tfhe.ggsw.FourierGgswCiphertext.external_product`),
+blind rotation, sample extraction, keyswitching and the full programmable /
+gate bootstrap.  A batch of ``B`` LWE ciphertexts moves through the chain as
+``(B, ...)`` stacks, so every numpy call amortizes its dispatch overhead over
+the whole batch instead of paying it per ciphertext.
+
+**Bit-for-bit honesty.** The contract — enforced by the seeded property
+suite in ``tests/test_batch_kernels.py`` and by the deterministic
+``kernel/*`` records in ``BENCH_sim.json`` — is that element ``i`` of every
+batched result equals the scalar kernel applied to element ``i``, exactly,
+not approximately.  Integer steps are exact by construction; the two
+floating-point steps reuse the *same* numpy primitives as the scalar path
+(`np.fft` applied along the last axis, ``einsum`` with an added batch
+subscript), which numpy evaluates per-row with an identical reduction
+order, so even the float intermediates agree to the last bit.  The one
+control-flow divergence — the scalar loop *skips* blind-rotation iterations
+whose switched mask element is zero — is harmless: a zero exponent makes the
+CMux difference exactly zero, which decomposes to all-zero digits and an
+exactly-zero external product, leaving the accumulator untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.params import TFHEParameters
+from repro.tfhe import torus
+from repro.tfhe.batch.types import GlweBatch, LweBatch
+from repro.tfhe.blind_rotate import make_constant_test_vector, make_test_vector
+from repro.tfhe.decomposition import decompose, decompose_rows
+from repro.tfhe.keys import BootstrappingKey, KeySwitchingKey
+from repro.tfhe.polynomial import get_transform
+
+
+@dataclass
+class BatchBootstrapResult:
+    """Outcome of a batched programmable bootstrap.
+
+    Mirrors :class:`repro.tfhe.bootstrap.BootstrapResult`: ``ciphertexts``
+    is the refreshed batch (dimension ``n`` when keyswitching was applied,
+    ``k*N`` otherwise) and ``extracted`` the batch straight after sample
+    extraction, kept for analysis and the property tests.
+    """
+
+    ciphertexts: LweBatch
+    extracted: LweBatch
+
+
+# -- linear steps ---------------------------------------------------------------
+
+
+def batch_modulus_switch(
+    batch: LweBatch, params: TFHEParameters
+) -> tuple[np.ndarray, np.ndarray]:
+    """Switch a batch of LWE ciphertexts from modulus ``q`` to ``2N``.
+
+    Returns ``(masks_2n, bodies_2n)`` of shapes ``(B, dim)`` and ``(B,)``.
+    """
+    two_n = 2 * params.N
+    masks = torus.switch_modulus(batch.masks, params.q, two_n)
+    bodies = torus.switch_modulus(batch.bodies, params.q, two_n)
+    return masks.astype(np.int64), bodies.astype(np.int64)
+
+
+#: Cached ``arange(N)`` rows, keyed by degree — the gather runs once per
+#: blind-rotation iteration, so the index template is worth reusing.
+_GATHER_POSITIONS: dict[int, np.ndarray] = {}
+
+
+def _monomial_gather(polys: np.ndarray, exponents: np.ndarray) -> np.ndarray:
+    """Per-element ``X^exponent`` rotation *without* the modular reduction.
+
+    The rotation is a signed permutation — linear in the coefficients — so
+    callers that reduce later (or whose next step reduces anyway) can skip
+    the per-step ``mod q`` pass over the stack.  ``polys`` has shape
+    ``(B, ..., N)``; ``exponents`` has shape ``(B,)``.
+    """
+    n = polys.shape[-1]
+    two_n = 2 * n
+    positions = _GATHER_POSITIONS.get(n)
+    if positions is None:
+        positions = _GATHER_POSITIONS[n] = np.arange(n, dtype=np.int64)
+    # Source index of output coefficient j is (j - e) mod 2N; indices in
+    # [N, 2N) wrap negacyclically and re-enter negated.  The ring degree is
+    # a power of two, so the reduction is a bitwise mask.
+    delta = positions[None, :] - exponents[:, None]  # (B, N)
+    source = delta & (two_n - 1) if two_n & (two_n - 1) == 0 else np.mod(delta, two_n)
+    wrap = source >= n
+    source = np.where(wrap, source - n, source)
+    middle = (1,) * (polys.ndim - 2)
+    index = np.broadcast_to(source.reshape(polys.shape[0], *middle, n), polys.shape)
+    gathered = np.take_along_axis(polys, index, axis=-1)
+    gathered *= np.where(wrap, -1, 1).reshape(polys.shape[0], *middle, n)
+    return gathered
+
+
+def batch_monomial_multiply(
+    polys: np.ndarray, exponents: np.ndarray, q: int
+) -> np.ndarray:
+    """Multiply each batch element's polynomials by its own ``X^exponent``.
+
+    ``polys`` has shape ``(B, ..., N)`` (any number of middle axes, e.g. the
+    ``k+1`` polynomials of a GLWE stack share their element's exponent);
+    ``exponents`` has shape ``(B,)`` and may hold any integers.  The result
+    respects the negacyclic sign rule ``X^N = -1`` exactly like the scalar
+    :func:`repro.tfhe.polynomial.monomial_multiply`.
+    """
+    polys = np.asarray(polys, dtype=np.int64)
+    exponents = np.asarray(exponents, dtype=np.int64)
+    return torus.reduce(_monomial_gather(polys, exponents), q)
+
+
+# -- the external-product core ---------------------------------------------------
+
+
+def _batch_external_product(
+    diff: np.ndarray, key_spectra: np.ndarray, params: TFHEParameters
+) -> np.ndarray:
+    """External product of a ``(B, k+1, N)`` GLWE stack against one GGSW.
+
+    The batch twin of one CMux refresh: decompose the stack, transform the
+    digit polynomials, multiply-accumulate against the key spectra and
+    transform back.  ``einsum`` carries an extra batch subscript but reduces
+    over the row axis in the same order as the scalar ``"rf,rcf->cf"``
+    contraction, keeping the complex accumulation bit-identical.
+    """
+    transform = get_transform(params.N)
+    batch_size = diff.shape[0]
+    rows = (params.k + 1) * params.lb
+    # decompose_rows emits (B, k+1, lb, N) — already the poly-major row
+    # order of decompose_polynomial_list — so flattening to the row matrix
+    # is a contiguous, copy-free reshape.  The transform's fold step
+    # performs the float64 conversion, bit-identical to an explicit astype.
+    digits = decompose_rows(diff, params.lb, params.log2_base_pbs, params.q_bits)
+    digit_polys = digits.reshape(batch_size, rows, params.N)
+    digit_spectra = transform.forward(digit_polys)
+    accumulated = np.einsum("brf,rcf->bcf", digit_spectra, key_spectra)
+    result = transform.inverse(accumulated)
+    return torus.reduce(np.round(result).astype(np.int64), params.q)
+
+
+def batch_blind_rotate(
+    test_vector: np.ndarray,
+    batch: LweBatch,
+    bootstrapping_key: BootstrappingKey,
+    params: TFHEParameters,
+) -> GlweBatch:
+    """Homomorphically rotate ``test_vector`` by each ciphertext's phase.
+
+    One shared test vector, ``B`` encrypted phases: the batch twin of
+    :func:`repro.tfhe.blind_rotate.blind_rotate`.  Each of the ``n``
+    iterations rotates the whole accumulator stack by the per-element
+    switched mask exponent and refreshes it with one batched CMux against
+    the iteration's GGSW.
+    """
+    if len(bootstrapping_key) != batch.dimension:
+        raise ValueError(
+            f"bootstrapping key has {len(bootstrapping_key)} entries but the "
+            f"ciphertexts have dimension {batch.dimension}"
+        )
+    masks_2n, bodies_2n = batch_modulus_switch(batch, params)
+    batch_size = len(batch)
+    # The accumulator is carried *unreduced*: the rotation is a signed
+    # permutation and each CMux adds a canonical-range product, so every
+    # intermediate stays within ``(n + 1) * q`` — far inside int64 — and one
+    # reduction per iteration (the CMux difference, which feeds the digit
+    # decomposition and therefore must be canonical) replaces four.  The
+    # final GlweBatch construction reduces once; modular arithmetic makes
+    # the result bit-identical to the scalar step-by-step reductions.
+    accumulator = np.zeros((batch_size, params.k + 1, params.N), dtype=np.int64)
+    initial = np.broadcast_to(
+        np.asarray(test_vector, dtype=np.int64), (batch_size, params.N)
+    )
+    accumulator[:, params.k, :] = _monomial_gather(initial, -bodies_2n)
+    for index in range(batch.dimension):
+        exponents = masks_2n[:, index]
+        if not exponents.any():
+            continue  # every element skips, exactly like the scalar loop
+        rotated = _monomial_gather(accumulator, exponents)
+        diff = torus.reduce(rotated - accumulator, params.q)
+        product = _batch_external_product(
+            diff, bootstrapping_key[index].spectra, params
+        )
+        accumulator += product
+    return GlweBatch(accumulator[:, : params.k], accumulator[:, params.k], params)
+
+
+def batch_sample_extract(glwe_batch: GlweBatch) -> LweBatch:
+    """Extract the constant-coefficient LWE ciphertext of every element.
+
+    The batch twin of :meth:`repro.tfhe.glwe.GlweCiphertext.sample_extract`
+    at index 0: mask coefficient ``i*N + j`` is ``A_i[-j]`` with the
+    negacyclic sign for ``j > 0``.
+    """
+    masks = glwe_batch.masks  # (B, k, N)
+    extracted = np.concatenate([masks[..., :1], -masks[..., :0:-1]], axis=-1)
+    batch_size = len(glwe_batch)
+    params = glwe_batch.params
+    return LweBatch(
+        extracted.reshape(batch_size, params.k * params.N),
+        glwe_batch.bodies[:, 0],
+        params,
+    )
+
+
+def batch_keyswitch(
+    batch: LweBatch,
+    keyswitching_key: KeySwitchingKey,
+    params: TFHEParameters,
+) -> LweBatch:
+    """Switch a batch of extracted ciphertexts back to the ``n``-dim key.
+
+    The batch twin of :func:`repro.tfhe.keyswitch.keyswitch`; the digit and
+    contraction arithmetic is pure ``int64``, so equality with the scalar
+    path is exact by construction.
+    """
+    input_dim = params.k * params.N
+    if batch.dimension != input_dim:
+        raise ValueError(
+            f"expected extracted ciphertexts of dimension {input_dim}, "
+            f"got {batch.dimension}"
+        )
+    digits = decompose(batch.masks, params.lk, params.log2_base_ks, params.q_bits)
+    # digits: (lk, B, k*N); table: (k*N, lk, n+1); contract over level and
+    # input coefficient in one step.
+    combination = np.einsum("lbj,jlc->bc", digits, keyswitching_key.ciphertexts)
+    masks = torus.reduce(-combination[:, : params.n], params.q)
+    bodies = np.mod(batch.bodies - combination[:, params.n], params.q)
+    return LweBatch(masks, bodies, params)
+
+
+# -- full bootstraps -------------------------------------------------------------
+
+
+def batch_bootstrap_with_test_vector(
+    batch: LweBatch,
+    test_vector: np.ndarray,
+    bootstrapping_key: BootstrappingKey,
+    params: TFHEParameters,
+    keyswitching_key: KeySwitchingKey | None = None,
+) -> BatchBootstrapResult:
+    """Blind rotate + sample extract (+ keyswitch) for a whole batch."""
+    accumulator = batch_blind_rotate(test_vector, batch, bootstrapping_key, params)
+    extracted = batch_sample_extract(accumulator)
+    if keyswitching_key is None:
+        return BatchBootstrapResult(extracted, extracted)
+    switched = batch_keyswitch(extracted, keyswitching_key, params)
+    return BatchBootstrapResult(switched, extracted)
+
+
+def batch_programmable_bootstrap(
+    batch: LweBatch,
+    function: Callable[[int], int],
+    bootstrapping_key: BootstrappingKey,
+    params: TFHEParameters,
+    keyswitching_key: KeySwitchingKey | None = None,
+    output_delta: int | None = None,
+) -> BatchBootstrapResult:
+    """Evaluate ``f`` on every encrypted message while refreshing the noise.
+
+    The batch twin of :func:`repro.tfhe.bootstrap.programmable_bootstrap`:
+    one test vector is built for the whole batch (it depends only on the
+    function and the parameters) and every element is rotated by its own
+    phase.
+    """
+    test_vector = make_test_vector(function, params, output_delta)
+    return batch_bootstrap_with_test_vector(
+        batch, test_vector, bootstrapping_key, params, keyswitching_key
+    )
+
+
+def batch_bootstrap_to_sign(
+    batch: LweBatch,
+    bootstrapping_key: BootstrappingKey,
+    params: TFHEParameters,
+    keyswitching_key: KeySwitchingKey | None = None,
+    magnitude: int | None = None,
+) -> BatchBootstrapResult:
+    """Gate-bootstrapping primitive over a batch: phase sign onto ``±q/8``."""
+    value = params.q // 8 if magnitude is None else int(magnitude)
+    test_vector = make_constant_test_vector(value, params)
+    return batch_bootstrap_with_test_vector(
+        batch, test_vector, bootstrapping_key, params, keyswitching_key
+    )
+
+
+# -- client-side helpers ---------------------------------------------------------
+
+
+def batch_encrypt(
+    values: np.ndarray,
+    key_bits: np.ndarray,
+    params: TFHEParameters,
+    rng: np.random.Generator,
+    noise_std: float | None = None,
+) -> LweBatch:
+    """Encrypt a vector of torus values under a binary LWE key, stacked.
+
+    Draws all masks in one call and all noise in one call, so the *stream*
+    of random draws differs from encrypting scalar ciphertexts one by one —
+    the ciphertexts are equally valid but not byte-identical to a scalar
+    loop on the same generator state.  (Server-side kernels, where the
+    bit-for-bit contract lives, involve no randomness.)
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.ndim != 1 or values.shape[0] == 0:
+        raise ValueError(f"expected a non-empty 1-D value vector, got shape {values.shape}")
+    key_bits = np.asarray(key_bits, dtype=np.int64)
+    std = params.lwe_noise_std if noise_std is None else noise_std
+    masks = torus.uniform((values.shape[0], key_bits.shape[0]), params.q, rng)
+    noise = torus.gaussian_noise(values.shape[0], std, params.q, rng)
+    bodies = masks @ key_bits + values + noise
+    return LweBatch(masks, bodies, params)
+
+
+def batch_phase(batch: LweBatch, key_bits: np.ndarray) -> np.ndarray:
+    """Noisy phases ``b - <a, s>`` of a batch, shape ``(B,)``.
+
+    Exact ``int64`` arithmetic, identical to the scalar
+    :meth:`repro.tfhe.lwe.LweCiphertext.phase` element for element.
+    """
+    key_bits = np.asarray(key_bits, dtype=np.int64)
+    if key_bits.shape[0] != batch.dimension:
+        raise ValueError(
+            f"key dimension {key_bits.shape[0]} does not match ciphertext "
+            f"dimension {batch.dimension}"
+        )
+    return np.mod(batch.bodies - batch.masks @ key_bits, batch.params.q)

@@ -1,0 +1,156 @@
+"""Stacked-array ciphertext containers for the vectorized kernels.
+
+The scalar tier represents a batch as ``list[LweCiphertext]`` — one Python
+object, one mask array and one body int per ciphertext.  The vectorized
+kernels instead operate on *stacks*: one ``(batch, dim)`` mask array plus a
+``(batch,)`` body vector for a whole batch of LWE ciphertexts, and
+``(batch, k, N)`` / ``(batch, N)`` arrays for GLWE accumulators.  These are
+plain containers with shape validation and loss-free conversion to and from
+the scalar objects; all arithmetic lives in
+:mod:`repro.tfhe.batch.kernels`.
+
+An empty batch is rejected at construction: every kernel in the chain would
+silently return empty arrays, which hides caller bugs (a batcher that
+flushed nothing), so the failure is loud and early instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.params import TFHEParameters
+from repro.tfhe import torus
+from repro.tfhe.glwe import GlweCiphertext
+from repro.tfhe.lwe import LweCiphertext
+
+
+@dataclass
+class LweBatch:
+    """A stack of LWE ciphertexts sharing one dimension and parameter set.
+
+    Attributes
+    ----------
+    masks:
+        Array of shape ``(batch, dim)`` holding every mask row.
+    bodies:
+        Array of shape ``(batch,)`` holding the body scalars.
+    params:
+        Parameter set shared by the whole batch.
+    """
+
+    masks: np.ndarray
+    bodies: np.ndarray
+    params: TFHEParameters
+
+    def __post_init__(self) -> None:
+        q = self.params.q
+        self.masks = torus.reduce(np.asarray(self.masks, dtype=np.int64), q)
+        self.bodies = torus.reduce(np.asarray(self.bodies, dtype=np.int64), q)
+        if self.masks.ndim != 2:
+            raise ValueError(f"masks must have shape (batch, dim), got {self.masks.shape}")
+        if self.bodies.shape != (self.masks.shape[0],):
+            raise ValueError(
+                f"bodies must have shape ({self.masks.shape[0]},), got {self.bodies.shape}"
+            )
+        if len(self) == 0:
+            raise ValueError("an LWE batch must contain at least one ciphertext")
+
+    def __len__(self) -> int:
+        return int(self.masks.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """LWE dimension shared by every ciphertext in the stack."""
+        return int(self.masks.shape[1])
+
+    @classmethod
+    def from_ciphertexts(cls, ciphertexts: Sequence[LweCiphertext]) -> "LweBatch":
+        """Stack scalar ciphertexts into one batch (loss-free).
+
+        Every ciphertext must share one dimension and one modulus; an empty
+        sequence raises, matching the constructor's contract.
+        """
+        if not ciphertexts:
+            raise ValueError("an LWE batch must contain at least one ciphertext")
+        dimensions = {ct.dimension for ct in ciphertexts}
+        if len(dimensions) != 1:
+            raise ValueError(f"ciphertexts have mixed dimensions: {sorted(dimensions)}")
+        moduli = {ct.params.q for ct in ciphertexts}
+        if len(moduli) != 1:
+            raise ValueError("ciphertexts have mixed moduli and cannot be stacked")
+        masks = np.stack([ct.mask for ct in ciphertexts])
+        bodies = np.array([ct.body for ct in ciphertexts], dtype=np.int64)
+        return cls(masks, bodies, ciphertexts[0].params)
+
+    def to_ciphertexts(self) -> list[LweCiphertext]:
+        """Unstack into scalar ciphertexts (loss-free inverse of stacking)."""
+        return [
+            LweCiphertext(self.masks[index], int(self.bodies[index]), self.params)
+            for index in range(len(self))
+        ]
+
+    def __iter__(self) -> Iterable[LweCiphertext]:
+        return iter(self.to_ciphertexts())
+
+
+@dataclass
+class GlweBatch:
+    """A stack of GLWE ciphertexts (the blind-rotation accumulators).
+
+    Attributes
+    ----------
+    masks:
+        Array of shape ``(batch, k, N)``.
+    bodies:
+        Array of shape ``(batch, N)``.
+    params:
+        Parameter set shared by the whole batch.
+    """
+
+    masks: np.ndarray
+    bodies: np.ndarray
+    params: TFHEParameters
+
+    def __post_init__(self) -> None:
+        q = self.params.q
+        self.masks = torus.reduce(np.asarray(self.masks, dtype=np.int64), q)
+        self.bodies = torus.reduce(np.asarray(self.bodies, dtype=np.int64), q)
+        n_poly = self.params.N
+        if self.masks.ndim != 3 or self.masks.shape[2] != n_poly:
+            raise ValueError(
+                f"masks must have shape (batch, k, N={n_poly}), got {self.masks.shape}"
+            )
+        if self.bodies.shape != (self.masks.shape[0], n_poly):
+            raise ValueError(
+                f"bodies must have shape ({self.masks.shape[0]}, {n_poly}), "
+                f"got {self.bodies.shape}"
+            )
+        if len(self) == 0:
+            raise ValueError("a GLWE batch must contain at least one ciphertext")
+
+    def __len__(self) -> int:
+        return int(self.masks.shape[0])
+
+    @property
+    def k(self) -> int:
+        """GLWE mask length shared by the stack."""
+        return int(self.masks.shape[1])
+
+    def to_ciphertexts(self) -> list[GlweCiphertext]:
+        """Unstack into scalar GLWE ciphertexts."""
+        return [
+            GlweCiphertext(self.masks[index], self.bodies[index], self.params)
+            for index in range(len(self))
+        ]
+
+    @classmethod
+    def from_ciphertexts(cls, ciphertexts: Sequence[GlweCiphertext]) -> "GlweBatch":
+        """Stack scalar GLWE ciphertexts into one batch."""
+        if not ciphertexts:
+            raise ValueError("a GLWE batch must contain at least one ciphertext")
+        masks = np.stack([ct.mask for ct in ciphertexts])
+        bodies = np.stack([ct.body for ct in ciphertexts])
+        return cls(masks, bodies, ciphertexts[0].params)

@@ -49,6 +49,46 @@ def decompose(
         holds the digit that multiplies ``q / B^(i+1)``.  Digits lie in
         ``[-B/2, B/2]``.
     """
+    shifted, base, half_base = _carry_folded_gamma(values, levels, log2_base, q_bits)
+    shifts = (np.arange(levels - 1, -1, -1, dtype=np.int64) * log2_base).reshape(
+        (levels,) + (1,) * shifted.ndim
+    )
+    return ((shifted[None] >> shifts) & (base - 1)) - half_base
+
+
+def decompose_rows(
+    values: np.ndarray,
+    levels: int,
+    log2_base: int,
+    q_bits: int = 32,
+) -> np.ndarray:
+    """Signed digits with the level axis *inside*: shape ``(..., levels, N)``.
+
+    Bit-identical digits to :func:`decompose`, but laid out so that the
+    digit polynomials of one input polynomial are adjacent — the row order
+    the external product feeds to the FFT.  Emitting this layout directly
+    saves the transpose copy that reordering :func:`decompose`'s
+    level-major output would cost on every blind-rotation iteration of the
+    vectorized kernels.
+    """
+    shifted, base, half_base = _carry_folded_gamma(values, levels, log2_base, q_bits)
+    shifts = (np.arange(levels - 1, -1, -1, dtype=np.int64) * log2_base)[:, None]
+    return ((shifted[..., None, :] >> shifts) & (base - 1)) - half_base
+
+
+def _carry_folded_gamma(
+    values: np.ndarray, levels: int, log2_base: int, q_bits: int
+) -> tuple[np.ndarray, int, int]:
+    """Rounded ``gamma`` with every balancing carry pre-applied.
+
+    Rounds to the closest multiple of ``q / B^levels`` (an integer gamma in
+    ``[0, B^levels)``) and adds ``B/2 * (1 + B + .. + B^(levels-1))``, which
+    applies all the digit-balancing carries at once: each signed digit then
+    comes out of one shift/mask/offset, bit-identical to propagating the
+    carries level by level but without the sequential loop (this is the hot
+    inner step of both the scalar and the batched external product).  The
+    sum stays below ``2 * B^levels``, far inside int64.
+    """
     if levels * log2_base > q_bits:
         raise ValueError(
             f"decomposition keeps {levels * log2_base} bits which exceeds the "
@@ -59,25 +99,12 @@ def decompose(
     half_base = base >> 1
     kept_bits = levels * log2_base
     dropped_bits = q_bits - kept_bits
-
-    # Round to the closest multiple of q / B^levels, expressed as an integer
-    # gamma in [0, B^levels).
     if dropped_bits > 0:
         gamma = (values + (1 << (dropped_bits - 1))) >> dropped_bits
     else:
-        gamma = values.copy()
-
-    digits = np.empty((levels,) + values.shape, dtype=np.int64)
-    # Extract digits from least significant (level `levels`) to most
-    # significant (level 1), propagating the balancing carry.
-    for level in range(levels - 1, -1, -1):
-        digit = gamma & (base - 1)
-        gamma >>= log2_base
-        carry = (digit >= half_base).astype(np.int64)
-        digit = digit - (carry << log2_base)
-        gamma += carry
-        digits[level] = digit
-    return digits
+        gamma = values
+    offset = half_base * (((1 << kept_bits) - 1) // (base - 1))
+    return gamma + offset, base, half_base
 
 
 def recompose(
@@ -116,9 +143,9 @@ def decompose_polynomial_list(
     polys = np.asarray(polys, dtype=np.int64)
     if polys.ndim != 2:
         raise ValueError(f"expected a 2-D array of polynomials, got shape {polys.shape}")
-    digits = decompose(polys, levels, log2_base, q_bits)
-    # digits shape: (levels, m, N)  ->  (m, levels, N)  ->  (m * levels, N)
-    return np.transpose(digits, (1, 0, 2)).reshape(-1, polys.shape[1])
+    # decompose_rows emits (m, levels, N) directly, so flattening the row
+    # axis is a contiguous (copy-free) reshape.
+    return decompose_rows(polys, levels, log2_base, q_bits).reshape(-1, polys.shape[1])
 
 
 def decomposition_error_bound(levels: int, log2_base: int, q_bits: int = 32) -> int:

@@ -13,20 +13,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fft.folding import FoldedNegacyclicTransform
+from repro.fft.registry import get_folded_transform
 from repro.tfhe import torus
-
-# Cache of transforms keyed by polynomial degree: blind rotation performs
-# thousands of transforms of the same size, so the twiddle tables are shared.
-_TRANSFORMS: dict[int, FoldedNegacyclicTransform] = {}
 
 
 def get_transform(degree: int) -> FoldedNegacyclicTransform:
-    """Return (and cache) the folded negacyclic transform for ``degree``."""
-    transform = _TRANSFORMS.get(degree)
-    if transform is None:
-        transform = FoldedNegacyclicTransform(degree)
-        _TRANSFORMS[degree] = transform
-    return transform
+    """Return (and cache) the folded negacyclic transform for ``degree``.
+
+    Delegates to the shared per-degree registry (:mod:`repro.fft.registry`),
+    so blind rotation, the vectorized batch kernels and the arch-tier FFT
+    unit all reuse one set of twiddle tables per degree — and the registry's
+    hit/miss counters see every lookup.
+    """
+    return get_folded_transform(degree)
 
 
 def zero(degree: int) -> np.ndarray:

@@ -19,6 +19,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.params import TFHEParameters
+from repro.tfhe.batch.types import LweBatch
 from repro.tfhe.ggsw import FourierGgswCiphertext
 from repro.tfhe.keys import BootstrappingKey, KeySwitchingKey, LweSecretKey
 from repro.tfhe.lwe import LweCiphertext
@@ -127,6 +128,68 @@ def lwe_from_bytes(data: bytes, params: TFHEParameters) -> list[LweCiphertext]:
     return [
         LweCiphertext(masks[index], int(bodies[index]), params) for index in range(count)
     ]
+
+
+# -- stacked LWE batches, bytes level ---------------------------------------------
+
+#: Leading magic of the stacked :class:`~repro.tfhe.batch.LweBatch` encoding.
+LWE_BATCH_WIRE_MAGIC = b"LWB1"
+
+#: Fixed header of the stacked encoding: magic, parameter-set name length,
+#: batch size, LWE dimension — the same fields as the per-ciphertext wire
+#: header, so the two formats are distinguishable by magic alone.
+_LWE_BATCH_WIRE_HEADER = struct.Struct("!4sHII")
+
+
+def lwe_batch_to_bytes(batch: LweBatch) -> bytes:
+    """Encode an :class:`~repro.tfhe.batch.LweBatch` as one byte string.
+
+    The stacked sibling of :func:`lwe_to_bytes`: instead of restacking a
+    list of scalar ciphertexts, the batch's existing ``(batch, dim)`` mask
+    array and ``(batch,)`` body vector are laid out as **one** contiguous
+    little-endian ``(batch, dim + 1)`` ``int64`` array (each row is a mask
+    followed by its body), so encoding a vectorized pipeline's output is a
+    single copy.  The size is exactly ``header + batch * (dim + 1) * 8``.
+    """
+    params = batch.params
+    name = params.name.encode("utf-8")
+    stacked = np.empty((len(batch), batch.dimension + 1), dtype="<i8")
+    stacked[:, :-1] = batch.masks
+    stacked[:, -1] = batch.bodies
+    header = _LWE_BATCH_WIRE_HEADER.pack(
+        LWE_BATCH_WIRE_MAGIC, len(name), len(batch), batch.dimension
+    )
+    return header + name + stacked.tobytes()
+
+
+def lwe_batch_from_bytes(data: bytes, params: TFHEParameters) -> LweBatch:
+    """Decode an :class:`~repro.tfhe.batch.LweBatch` from :func:`lwe_batch_to_bytes`.
+
+    Applies the same defensive checks as :func:`lwe_from_bytes`: wrong
+    magic, parameter-set mismatch and truncated or oversized payloads all
+    raise :class:`ValueError`.
+    """
+    view = memoryview(data)
+    if len(view) < _LWE_BATCH_WIRE_HEADER.size:
+        raise ValueError("LWE batch bytes are truncated before the header ends")
+    magic, name_length, count, dimension = _LWE_BATCH_WIRE_HEADER.unpack_from(view, 0)
+    if magic != LWE_BATCH_WIRE_MAGIC:
+        raise ValueError(f"bad stacked LWE batch magic {bytes(magic)!r}")
+    offset = _LWE_BATCH_WIRE_HEADER.size
+    if len(view) < offset + name_length:
+        raise ValueError("LWE batch bytes are truncated inside the parameter name")
+    stored_name = bytes(view[offset : offset + name_length]).decode("utf-8")
+    _check_params_match(stored_name, params)
+    offset += name_length
+    expected = offset + count * (dimension + 1) * 8
+    if len(view) != expected:
+        raise ValueError(
+            f"LWE batch has {len(view)} bytes but the header implies {expected}"
+        )
+    stacked = np.frombuffer(
+        view, dtype="<i8", count=count * (dimension + 1), offset=offset
+    ).reshape(count, dimension + 1)
+    return LweBatch(stacked[:, :-1], stacked[:, -1], params)
 
 
 # -- evaluation keys ---------------------------------------------------------------

@@ -16,10 +16,19 @@ import numpy as np
 
 
 def reduce(values: np.ndarray | int, q: int) -> np.ndarray | int:
-    """Reduce values into the canonical torus range ``[0, q)``."""
+    """Reduce values into the canonical torus range ``[0, q)``.
+
+    For a power-of-two modulus the reduction is a bitwise mask: on two's
+    complement ``int64`` values ``x & (q - 1)`` equals the floored
+    ``np.mod(x, q)`` bit for bit (negative inputs included), and skips the
+    integer division — this is the hot reduction of the vectorized kernels.
+    """
     if np.isscalar(values) or isinstance(values, (int, np.integer)):
         return int(values) % q
-    return np.mod(np.asarray(values, dtype=np.int64), q)
+    values = np.asarray(values, dtype=np.int64)
+    if q & (q - 1) == 0:
+        return values & (q - 1)
+    return np.mod(values, q)
 
 
 def to_signed(values: np.ndarray | int, q: int) -> np.ndarray | int:

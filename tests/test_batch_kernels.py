@@ -1,0 +1,569 @@
+"""Vectorized batch kernels vs. the scalar reference, bit for bit.
+
+The contract of :mod:`repro.tfhe.batch` is *exact* equality: element ``i``
+of every batched kernel result must equal the scalar kernel applied to
+element ``i`` — same masks, same bodies, to the last bit.  This suite
+enforces that with seeded randomized sweeps across parameter sets and batch
+sizes, covers the degenerate shapes (empty batches raise, batch-1 equals
+scalar exactly), and exercises the ``kernels`` knob end to end through
+:class:`~repro.runtime.session.Session` and the reference backend, the
+transform-instance registry, and the stacked wire codecs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownKernelError
+from repro.fft import (
+    clear_transform_caches,
+    get_folded_transform,
+    get_negacyclic_transform,
+    register_transform_cache_view,
+    transform_cache_stats,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.params import SMALL_PARAMETERS, TOY_PARAMETERS
+from repro.runtime.api import run
+from repro.runtime.session import Session
+from repro.sim.compiler import Netlist, full_adder_netlist
+from repro.tfhe.batch import (
+    BATCH_GATES,
+    KERNEL_BACKENDS,
+    GlweBatch,
+    LweBatch,
+    batch_gate,
+    batch_keyswitch,
+    batch_monomial_multiply,
+    batch_programmable_bootstrap,
+    batch_sample_extract,
+    resolve_kernels,
+)
+from repro.tfhe.bootstrap import programmable_bootstrap
+from repro.tfhe.context import TFHEContext
+from repro.tfhe.gates import GateBootstrapper
+from repro.tfhe.keyswitch import keyswitch
+from repro.tfhe.lut import relu_lut
+from repro.tfhe.polynomial import monomial_multiply
+from repro.tfhe.serialization import (
+    LWE_BATCH_WIRE_MAGIC,
+    lwe_batch_from_bytes,
+    lwe_batch_to_bytes,
+)
+
+#: (parameter set, batch sizes swept).  TOY covers the paper's batch-64
+#: epoch shape; SMALL covers ``k > 1`` with smaller batches to keep the
+#: scalar comparison loop fast.
+SWEEPS = [
+    (TOY_PARAMETERS, (1, 2, 7, 64)),
+    (SMALL_PARAMETERS, (1, 2, 7)),
+]
+
+
+@pytest.fixture(scope="module")
+def toy_context() -> TFHEContext:
+    context = TFHEContext(TOY_PARAMETERS, seed=1234)
+    context.generate_server_keys()
+    return context
+
+
+@pytest.fixture(scope="module")
+def small_context() -> TFHEContext:
+    context = TFHEContext(SMALL_PARAMETERS, seed=1234)
+    context.generate_server_keys()
+    return context
+
+
+def _context_for(params, toy_context, small_context) -> TFHEContext:
+    return toy_context if params is TOY_PARAMETERS else small_context
+
+
+def _assert_batch_equals_scalars(batch: LweBatch, scalars) -> None:
+    assert len(batch) == len(scalars)
+    for index, scalar in enumerate(scalars):
+        np.testing.assert_array_equal(batch.masks[index], scalar.mask)
+        assert int(batch.bodies[index]) == scalar.body
+
+
+# -- the registry knob -----------------------------------------------------------
+
+
+class TestKernelRegistry:
+    def test_registered_backends(self):
+        assert KERNEL_BACKENDS == ("scalar", "vectorized")
+        for name in KERNEL_BACKENDS:
+            assert resolve_kernels(name) == name
+
+    def test_unknown_name_gets_did_you_mean(self):
+        with pytest.raises(UnknownKernelError) as excinfo:
+            resolve_kernels("vectorised")
+        message = str(excinfo.value)
+        assert "kernel backend" in message
+        assert "did you mean 'vectorized'" in message
+        # Matches both historical catch styles of the other registries.
+        assert isinstance(excinfo.value, KeyError)
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_session_validates_the_knob(self):
+        with pytest.raises(UnknownKernelError, match="scalar"):
+            Session("TOY", kernels="simd")
+
+    def test_reference_backend_validates_the_knob(self):
+        netlist = Netlist(TOY_PARAMETERS, name="tiny")
+        netlist.add_input("a")
+        netlist.add_gate("not", "b", "a")
+        with pytest.raises(UnknownKernelError, match="vectorized"):
+            run(netlist, backend="reference", kernels="avx2")
+
+
+# -- stacked containers ----------------------------------------------------------
+
+
+class TestBatchTypes:
+    def test_lwe_round_trip_is_loss_free(self, toy_context):
+        ciphertexts = [toy_context.encrypt(m % 4) for m in range(5)]
+        batch = LweBatch.from_ciphertexts(ciphertexts)
+        assert len(batch) == 5
+        assert batch.dimension == TOY_PARAMETERS.n
+        _assert_batch_equals_scalars(batch, ciphertexts)
+        _assert_batch_equals_scalars(batch, batch.to_ciphertexts())
+
+    def test_empty_lwe_batch_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            LweBatch.from_ciphertexts([])
+        with pytest.raises(ValueError, match="at least one"):
+            LweBatch(
+                np.empty((0, TOY_PARAMETERS.n), dtype=np.int64),
+                np.empty((0,), dtype=np.int64),
+                TOY_PARAMETERS,
+            )
+
+    def test_mixed_dimensions_rejected(self, toy_context):
+        narrow = toy_context.encrypt(1)
+        wide = toy_context.programmable_bootstrap(narrow, lambda m: m, keyswitch=False)
+        with pytest.raises(ValueError, match="mixed dimensions"):
+            LweBatch.from_ciphertexts([narrow, wide.ciphertext])
+
+    def test_empty_glwe_batch_raises(self):
+        params = TOY_PARAMETERS
+        with pytest.raises(ValueError, match="at least one"):
+            GlweBatch(
+                np.empty((0, params.k, params.N), dtype=np.int64),
+                np.empty((0, params.N), dtype=np.int64),
+                params,
+            )
+
+
+# -- seeded property sweeps -------------------------------------------------------
+
+
+class TestBitForBitEquality:
+    @pytest.mark.parametrize(
+        "params,batch_sizes", SWEEPS, ids=[p.name for p, _ in SWEEPS]
+    )
+    def test_programmable_bootstrap_chain(
+        self, params, batch_sizes, toy_context, small_context
+    ):
+        """Blind rotate + extract + keyswitch: batched == scalar, bit for bit."""
+        context = _context_for(params, toy_context, small_context)
+        keys = context.server_keys
+        rng = np.random.default_rng(2024)
+        p = params.message_modulus
+
+        def function(m: int) -> int:
+            return (3 * m + 1) % p
+
+        for batch_size in batch_sizes:
+            messages = rng.integers(0, p, size=batch_size)
+            ciphertexts = [context.encrypt(int(m)) for m in messages]
+            batched = batch_programmable_bootstrap(
+                LweBatch.from_ciphertexts(ciphertexts),
+                function,
+                keys.bootstrapping_key,
+                params,
+                keys.keyswitching_key,
+            )
+            scalars = [
+                programmable_bootstrap(
+                    ct, function, keys.bootstrapping_key, params, keys.keyswitching_key
+                )
+                for ct in ciphertexts
+            ]
+            _assert_batch_equals_scalars(
+                batched.ciphertexts, [s.ciphertext for s in scalars]
+            )
+            _assert_batch_equals_scalars(
+                batched.extracted, [s.extracted for s in scalars]
+            )
+
+    def test_batch_of_one_equals_scalar_exactly(self, toy_context):
+        keys = toy_context.server_keys
+        params = TOY_PARAMETERS
+        ciphertext = toy_context.encrypt(2)
+        batched = batch_programmable_bootstrap(
+            LweBatch.from_ciphertexts([ciphertext]),
+            lambda m: m,
+            keys.bootstrapping_key,
+            params,
+            keys.keyswitching_key,
+        )
+        scalar = programmable_bootstrap(
+            ciphertext, lambda m: m, keys.bootstrapping_key, params, keys.keyswitching_key
+        )
+        np.testing.assert_array_equal(batched.ciphertexts.masks[0], scalar.ciphertext.mask)
+        assert int(batched.ciphertexts.bodies[0]) == scalar.ciphertext.body
+
+    @pytest.mark.parametrize(
+        "params,batch_sizes", SWEEPS, ids=[p.name for p, _ in SWEEPS]
+    )
+    def test_monomial_multiply(self, params, batch_sizes, toy_context, small_context):
+        """Batched negacyclic rotation == scalar for random and edge exponents."""
+        rng = np.random.default_rng(7)
+        n = params.N
+        for batch_size in batch_sizes:
+            polys = rng.integers(0, params.q, size=(batch_size, n), dtype=np.int64)
+            edge = np.array([0, 1, n - 1, n, 2 * n - 1, -1, -n, 3 * n])
+            exponents = np.concatenate(
+                [edge, rng.integers(-2 * n, 2 * n, size=batch_size)]
+            )[:batch_size]
+            rotated = batch_monomial_multiply(polys, exponents, params.q)
+            for index in range(batch_size):
+                expected = monomial_multiply(
+                    polys[index], int(exponents[index]), params.q
+                )
+                np.testing.assert_array_equal(rotated[index], expected)
+
+    def test_keyswitch_matches_scalar(self, small_context):
+        """The int-exact keyswitch contraction: batched == scalar on k > 1."""
+        params = SMALL_PARAMETERS
+        keys = small_context.server_keys
+        rng = np.random.default_rng(11)
+        extracted = []
+        for message in rng.integers(0, params.message_modulus, size=4):
+            ct = small_context.encrypt(int(message))
+            extracted.append(
+                programmable_bootstrap(
+                    ct, lambda m: m, keys.bootstrapping_key, params
+                ).ciphertext
+            )
+        batched = batch_keyswitch(
+            LweBatch.from_ciphertexts(extracted), keys.keyswitching_key, params
+        )
+        scalars = [keyswitch(ct, keys.keyswitching_key, params) for ct in extracted]
+        _assert_batch_equals_scalars(batched, scalars)
+
+    def test_sample_extract_rejects_nothing_but_chain_validates_shapes(
+        self, toy_context
+    ):
+        params = TOY_PARAMETERS
+        keys = toy_context.server_keys
+        narrow = LweBatch.from_ciphertexts([toy_context.encrypt(1)])
+        with pytest.raises(ValueError, match="dimension"):
+            batch_keyswitch(narrow, keys.keyswitching_key, params)
+        rng = np.random.default_rng(3)
+        stack = GlweBatch(
+            rng.integers(0, params.q, size=(2, params.k, params.N)),
+            rng.integers(0, params.q, size=(2, params.N)),
+            params,
+        )
+        extracted = batch_sample_extract(stack)
+        for index, glwe in enumerate(stack.to_ciphertexts()):
+            scalar = glwe.sample_extract(0)
+            np.testing.assert_array_equal(extracted.masks[index], scalar.mask)
+            assert int(extracted.bodies[index]) == scalar.body
+
+
+# -- gates -----------------------------------------------------------------------
+
+
+class TestBatchGates:
+    def test_gate_registry_covers_the_scalar_gate_set(self):
+        assert set(BATCH_GATES) == set(GateBootstrapper.PBS_COST)
+
+    def test_all_gates_match_scalar_bit_for_bit(self, toy_context):
+        params = TOY_PARAMETERS
+        keys = toy_context.server_keys
+        gates = toy_context.gates()
+        rng = np.random.default_rng(42)
+        batch_size = 8
+        lhs = [toy_context.encrypt_boolean(bool(b)) for b in rng.integers(0, 2, batch_size)]
+        rhs = [toy_context.encrypt_boolean(bool(b)) for b in rng.integers(0, 2, batch_size)]
+        sel = [toy_context.encrypt_boolean(bool(b)) for b in rng.integers(0, 2, batch_size)]
+        stacked = {
+            name: LweBatch.from_ciphertexts(cts)
+            for name, cts in (("lhs", lhs), ("rhs", rhs), ("sel", sel))
+        }
+        scalar_methods = {
+            "and": gates.and_,
+            "or": gates.or_,
+            "nand": gates.nand,
+            "nor": gates.nor,
+            "xor": gates.xor,
+            "xnor": gates.xnor,
+            "andny": gates.andny,
+        }
+        for name, method in scalar_methods.items():
+            batched = batch_gate(
+                name,
+                (stacked["lhs"], stacked["rhs"]),
+                keys.bootstrapping_key,
+                keys.keyswitching_key,
+                params,
+            )
+            _assert_batch_equals_scalars(batched, [method(a, b) for a, b in zip(lhs, rhs)])
+        batched_not = batch_gate(
+            "not", (stacked["lhs"],), keys.bootstrapping_key, keys.keyswitching_key, params
+        )
+        _assert_batch_equals_scalars(batched_not, [gates.not_(a) for a in lhs])
+        batched_mux = batch_gate(
+            "mux",
+            (stacked["sel"], stacked["lhs"], stacked["rhs"]),
+            keys.bootstrapping_key,
+            keys.keyswitching_key,
+            params,
+        )
+        _assert_batch_equals_scalars(
+            batched_mux, [gates.mux(s, t, f) for s, t, f in zip(sel, lhs, rhs)]
+        )
+
+    def test_mismatched_operand_sizes_rejected(self, toy_context):
+        keys = toy_context.server_keys
+        two = LweBatch.from_ciphertexts(
+            [toy_context.encrypt_boolean(True), toy_context.encrypt_boolean(False)]
+        )
+        one = LweBatch.from_ciphertexts([toy_context.encrypt_boolean(True)])
+        with pytest.raises(ValueError, match="mixed sizes"):
+            batch_gate(
+                "and", (two, one), keys.bootstrapping_key, keys.keyswitching_key,
+                TOY_PARAMETERS,
+            )
+
+
+# -- the Session knob -------------------------------------------------------------
+
+
+class TestSessionKernels:
+    @pytest.fixture(scope="class")
+    def session(self) -> Session:
+        sess = Session("TOY", seed=99)
+        sess.generate_server_keys()
+        return sess
+
+    def test_default_is_scalar(self, session):
+        assert session.kernels == "scalar"
+
+    def test_vectorized_round_trips(self):
+        sess = Session("TOY", seed=5, kernels="vectorized")
+        messages = [0, 1, 2, 3, 1]
+        assert sess.decrypt_batch(sess.encrypt_batch(messages)) == messages
+        values = [True, False, True]
+        assert sess.decrypt_boolean_batch(sess.encrypt_boolean_batch(values)) == values
+        assert sess.encrypt_batch([]) == []
+        assert sess.decrypt_batch([]) == []
+
+    def test_bootstrap_batch_identical_across_backends(self, session):
+        p = session.params.message_modulus
+        ciphertexts = session.encrypt_batch([0, 1, 2, 3])
+        session.kernels = "scalar"
+        scalar_out = session.bootstrap_batch(ciphertexts, lambda m: (m + 1) % p)
+        session.kernels = "vectorized"
+        try:
+            vector_out = session.bootstrap_batch(ciphertexts, lambda m: (m + 1) % p)
+        finally:
+            session.kernels = "scalar"
+        for scalar, vector in zip(scalar_out, vector_out):
+            np.testing.assert_array_equal(scalar.mask, vector.mask)
+            assert scalar.body == vector.body
+
+    def test_lut_and_gate_batches_identical_across_backends(self, session):
+        lut = relu_lut(session.params)
+        ciphertexts = session.encrypt_batch([0, 1, 2, 3])
+        lhs = session.encrypt_boolean_batch([True, False, True])
+        rhs = session.encrypt_boolean_batch([True, True, False])
+        session.kernels = "scalar"
+        scalar_lut = session.apply_lut_batch(ciphertexts, lut)
+        scalar_gate = session.gate_batch("xor", lhs, rhs)
+        session.kernels = "vectorized"
+        try:
+            vector_lut = session.apply_lut_batch(ciphertexts, lut)
+            vector_gate = session.gate_batch("xor", lhs, rhs)
+        finally:
+            session.kernels = "scalar"
+        for scalar, vector in zip(scalar_lut + scalar_gate, vector_lut + vector_gate):
+            np.testing.assert_array_equal(scalar.mask, vector.mask)
+            assert scalar.body == vector.body
+
+
+# -- the reference-backend knob ----------------------------------------------------
+
+
+class TestReferenceBackendKernels:
+    @pytest.fixture(scope="class")
+    def session(self) -> Session:
+        sess = Session("TOY", seed=77)
+        sess.generate_server_keys()
+        return sess
+
+    def test_adder_outputs_identical(self, session):
+        netlist = full_adder_netlist(TOY_PARAMETERS, bits=2)
+        cases = [(1, 3), (2, 2), (3, 1)]
+        inputs = [
+            {
+                "a0": bool(a & 1),
+                "a1": bool(a >> 1 & 1),
+                "b0": bool(b & 1),
+                "b1": bool(b >> 1 & 1),
+            }
+            for a, b in cases
+        ]
+        scalar = run(netlist, backend="reference", session=session, inputs=inputs)
+        vector = run(
+            netlist,
+            backend="reference",
+            session=session,
+            inputs=inputs,
+            kernels="vectorized",
+        )
+        assert scalar.outputs == vector.outputs
+        assert scalar.details["kernels"] == "scalar"
+        assert vector.details["kernels"] == "vectorized"
+
+    def test_lut_linear_outputs_identical(self, session):
+        p = TOY_PARAMETERS.message_modulus
+        netlist = Netlist(TOY_PARAMETERS, name="lut-linear")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        combined = netlist.add_linear("combined", (a, b), coefficients=(1, 2))
+        netlist.add_lut("out", combined, function=lambda m: (m * m) % p)
+        inputs = [{"a": 1, "b": 0}, {"a": 0, "b": 1}, {"a": 1, "b": 1}]
+        scalar = run(netlist, backend="reference", session=session, inputs=inputs)
+        vector = run(
+            netlist, backend="reference", session=session, inputs=inputs,
+            kernels="vectorized",
+        )
+        assert scalar.outputs == vector.outputs
+
+    def test_session_kernels_are_inherited(self):
+        sess = Session("TOY", seed=31, kernels="vectorized")
+        netlist = Netlist(TOY_PARAMETERS, name="inherit")
+        a = netlist.add_input("a")
+        netlist.add_gate("not", "b", a)
+        result = run(netlist, backend="reference", session=sess, inputs={"a": True})
+        assert result.details["kernels"] == "vectorized"
+        assert result.outputs == [{"b": False}]
+
+    def test_mixed_encodings_on_one_wire_rejected(self, session):
+        netlist = Netlist(TOY_PARAMETERS, name="mixed")
+        a = netlist.add_input("a")
+        netlist.add_gate("not", "b", a)
+        with pytest.raises(ValueError, match="one encoding per wire"):
+            run(
+                netlist,
+                backend="reference",
+                session=session,
+                inputs=[{"a": True}, {"a": 2}],
+                kernels="vectorized",
+            )
+
+
+# -- transform-instance registry ---------------------------------------------------
+
+
+class TestTransformRegistry:
+    def test_instances_are_cached_with_hit_miss_accounting(self):
+        clear_transform_caches()
+        try:
+            first = get_folded_transform(128)
+            again = get_folded_transform(128)
+            other = get_negacyclic_transform(128)
+            assert first is again
+            assert other is get_negacyclic_transform(128)
+            stats = transform_cache_stats()
+            assert stats["folded_misses"] == 1
+            assert stats["folded_hits"] == 1
+            assert stats["full_misses"] == 1
+            assert stats["full_hits"] == 1
+            assert stats["folded_entries"] == stats["full_entries"] == 1
+        finally:
+            clear_transform_caches()
+
+    def test_counters_surface_as_an_obs_view(self):
+        clear_transform_caches()
+        try:
+            registry = MetricsRegistry()
+            register_transform_cache_view(registry)
+            get_folded_transform(256)
+            get_folded_transform(256)
+            collected = registry.collect()
+            assert collected["fft_transform_cache_folded_misses"] == 1.0
+            assert collected["fft_transform_cache_folded_hits"] == 1.0
+            assert collected["fft_transform_cache_folded_entries"] == 1.0
+        finally:
+            clear_transform_caches()
+
+    def test_kernel_paths_share_one_instance(self, toy_context):
+        """Scalar and vectorized PBS must use the same cached transform."""
+        clear_transform_caches()
+        try:
+            keys = toy_context.server_keys
+            ct = toy_context.encrypt(1)
+            programmable_bootstrap(
+                ct, lambda m: m, keys.bootstrapping_key, TOY_PARAMETERS
+            )
+            after_scalar = transform_cache_stats()["folded_entries"]
+            batch_programmable_bootstrap(
+                LweBatch.from_ciphertexts([ct]),
+                lambda m: m,
+                keys.bootstrapping_key,
+                TOY_PARAMETERS,
+            )
+            stats = transform_cache_stats()
+            assert stats["folded_entries"] == after_scalar == 1
+            assert stats["folded_misses"] == 1
+            assert stats["folded_hits"] > 0
+        finally:
+            clear_transform_caches()
+
+
+# -- stacked wire codecs -----------------------------------------------------------
+
+
+class TestBatchCodecs:
+    def _batch(self, count: int = 5) -> LweBatch:
+        rng = np.random.default_rng(9)
+        params = TOY_PARAMETERS
+        return LweBatch(
+            rng.integers(0, params.q, size=(count, params.n)),
+            rng.integers(0, params.q, size=count),
+            params,
+        )
+
+    def test_round_trip_is_exact(self):
+        batch = self._batch()
+        decoded = lwe_batch_from_bytes(lwe_batch_to_bytes(batch), TOY_PARAMETERS)
+        np.testing.assert_array_equal(decoded.masks, batch.masks)
+        np.testing.assert_array_equal(decoded.bodies, batch.bodies)
+
+    def test_size_is_header_plus_one_contiguous_array(self):
+        batch = self._batch(3)
+        encoded = lwe_batch_to_bytes(batch)
+        header = 14 + len(TOY_PARAMETERS.name.encode("utf-8"))
+        assert len(encoded) == header + 3 * (TOY_PARAMETERS.n + 1) * 8
+        assert encoded.startswith(LWE_BATCH_WIRE_MAGIC)
+
+    def test_parameter_mismatch_rejected(self):
+        encoded = lwe_batch_to_bytes(self._batch())
+        with pytest.raises(ValueError, match="parameter set"):
+            lwe_batch_from_bytes(encoded, SMALL_PARAMETERS)
+
+    def test_corruption_rejected(self):
+        encoded = lwe_batch_to_bytes(self._batch())
+        with pytest.raises(ValueError, match="magic"):
+            lwe_batch_from_bytes(b"XXXX" + encoded[4:], TOY_PARAMETERS)
+        with pytest.raises(ValueError, match="truncated"):
+            lwe_batch_from_bytes(encoded[:8], TOY_PARAMETERS)
+        with pytest.raises(ValueError, match="implies"):
+            lwe_batch_from_bytes(encoded[:-8], TOY_PARAMETERS)
+        with pytest.raises(ValueError, match="implies"):
+            lwe_batch_from_bytes(encoded + b"\x00" * 8, TOY_PARAMETERS)
