@@ -27,7 +27,12 @@ Writes ``BENCH_serve.json`` with two families of records:
 * ``net/...`` — the wire front-end: deterministic proof that a trace
   replayed over loopback TCP is bit-for-bit the in-process simulation
   (plus framing bytes/frames per request), and timed client round-trip
-  percentiles / wire throughput of a closed loop over 8 connections.
+  percentiles / wire throughput of a closed loop over 8 connections;
+* ``faults/...`` — degraded-mode serving: the canonical device death at
+  mid-trace per layout (requests lost, recovery seconds, key re-ship
+  bytes, p99 under degradation — all deterministic), and the
+  ``faults/none/bit_identical`` record proving an empty fault schedule
+  keeps serving byte-identical.
 
 Run it directly (``--smoke`` shrinks the traces for CI)::
 
@@ -45,6 +50,7 @@ ensure_repro_importable()
 
 from repro import run  # noqa: E402  (path bootstrap above)
 from repro.apps.traffic import bursty_trace, heavy_tail_trace, steady_trace  # noqa: E402
+from repro.faults import FaultSchedule  # noqa: E402
 from repro.net.loadgen import closed_loop, replay_trace  # noqa: E402
 from repro.serve import Request, Server  # noqa: E402
 
@@ -397,6 +403,67 @@ def bench_net(report: BenchReport, duration_s: float, seed: int) -> None:
     print()
 
 
+def bench_faults(report: BenchReport, duration_s: float, seed: int) -> None:
+    """Degraded-mode serving under the canonical mid-trace device death.
+
+    All records are deterministic: failure times come off the schedule and
+    service times off the cost models, so requests lost, recovery seconds
+    and re-shipped key bytes reproduce bit-for-bit.  The ``faults/none``
+    record pins the subsystem's core invariant — an empty schedule leaves
+    the serving report byte-identical to a fault-free server's.
+    """
+    trace = steady_trace(rate_rps=1500.0, duration_s=duration_s, seed=seed)
+    death = FaultSchedule.of(FaultSchedule.death(device=1, at_s=duration_s / 2))
+
+    plain = Server(devices=4, params="I").simulate(list(trace), label="faults-base")
+    empty = Server(devices=4, params="I", faults=FaultSchedule.empty()).simulate(
+        list(trace), label="faults-base"
+    )
+    identical = (
+        empty.outcomes == plain.outcomes
+        and empty.metrics.to_dict() == plain.metrics.to_dict()
+    )
+    report.add("faults/none/bit_identical", 1.0 if identical else 0.0, "bool")
+
+    for layout in ("data-parallel", "pipeline", "elastic"):
+        for on_death in ("retry", "drop"):
+            server = Server(
+                devices=4, params="I", layout=layout, faults=death, on_death=on_death
+            )
+            result = server.simulate(list(trace), label="faults-death")
+            availability = result.metrics.availability
+            base = f"faults/death/{layout}/{on_death}"
+            lost = availability.get("requests_lost", 0)
+            report.add(f"{base}/requests_lost", lost, "count")
+            report.add(
+                f"{base}/requests_retried",
+                availability.get("requests_retried", 0),
+                "count",
+            )
+            report.add(
+                f"{base}/conserved",
+                1.0 if len(result.outcomes) + lost == len(trace) else 0.0,
+                "bool",
+            )
+            recovery = max(
+                (event.get("recovery_s", 0.0) for event in availability.get("events", [])),
+                default=0.0,
+            )
+            report.add(f"{base}/recovery", recovery, "s")
+            report.add(
+                f"{base}/key_reship_bytes",
+                availability.get("key_reship_bytes", 0),
+                "B",
+            )
+            report.add(f"{base}/degraded", availability.get("degraded_s", 0.0), "s")
+            report.add(f"{base}/p99_latency", result.metrics.latency.p99_s, "s")
+    print(
+        f"faults: empty schedule bit-identical={'yes' if identical else 'NO'}, "
+        f"canonical death at {duration_s / 2:.2f}s benched on 3 layouts x 2 policies"
+    )
+    print()
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -418,6 +485,7 @@ def main() -> None:
     bench_stage_plan_cache(report, duration_s, args.seed)
     bench_cost_cache(report, duration_s, args.seed)
     bench_net(report, duration_s, args.seed)
+    bench_faults(report, duration_s, args.seed)
     path = report.write(args.output)
     print(f"[saved {len(report.records)} records to {path}]")
 

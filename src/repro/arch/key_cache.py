@@ -415,6 +415,24 @@ class KeyResidencyManager:
                 shipping += ships * per_key_s
         return shipping
 
+    def evict_device(self, index: int) -> list[str]:
+        """Reclaim every key set resident on ``index`` (the device died).
+
+        Device death loses HBM contents: each resident tenant is evicted —
+        through the policy, counted against the ordinary ``evictions``
+        stat — and returned, sorted, so the fault injector can attribute
+        the re-shipping those tenants pay when they land again.  Because
+        the device stays in ``_ever_held``, any return ship is priced as a
+        re-ship by :meth:`place`, exactly once per surviving placement.
+        """
+        cache = self.devices[index]
+        evicted = sorted(cache.resident)
+        for tenant in evicted:
+            cache.evict(tenant)
+            self.policy.on_evict(index, tenant)
+            self.stats.evictions += 1
+        return evicted
+
     def _enforce_budget(self, cache: DeviceKeyCache, protected: set[str]) -> None:
         """Evict until ``cache`` fits its budget (or only protected keys remain)."""
         while cache.over_budget:

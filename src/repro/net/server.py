@@ -330,7 +330,14 @@ class NetServer:
         await self._send(connection, MessageType.DRAINED, b"")
 
     async def _handle_stats(self, connection: _Connection) -> None:
-        """Scrape the serving registry (including this transport's view)."""
+        """Scrape the serving registry (including this transport's view).
+
+        When the server runs under a fault schedule the snapshot carries
+        the ``serve_faults_*`` gauges (deaths applied, requests lost /
+        retried, throttle seconds...), so a remote scraper sees degraded-
+        mode state without a new frame type; fault-free servers emit no
+        such gauges and the STATS payload is unchanged.
+        """
         snapshot = self.server.metrics()
         self.last_stats = snapshot
         await self._send(connection, MessageType.STATS_REPLY, protocol.encode_stats(snapshot))

@@ -94,6 +94,10 @@ class Span:
     devices: tuple[int, ...] = ()
     #: Per-stage execution detail under the pipeline layout.
     stages: tuple[StageSpan, ...] = ()
+    #: Fault-injection outcome: the batch was replayed after a device
+    #: death (``retried``), or dropped without completing (``lost``).
+    retried: bool = False
+    lost: bool = False
 
     @property
     def queue_s(self) -> float | None:
@@ -134,6 +138,8 @@ class Span:
             "device": self.device,
             "devices": list(self.devices),
             "stages": [stage.to_dict() for stage in self.stages],
+            "retried": self.retried,
+            "lost": self.lost,
         }
 
 
@@ -200,6 +206,8 @@ class Tracer:
                 device=dispatch.device,
                 devices=tuple(dispatch.devices),
                 stages=stages,
+                retried=dispatch.retried,
+                lost=dispatch.lost,
             )
 
     def on_reply(self, request_id: int, t_s: float) -> None:

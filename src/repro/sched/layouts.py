@@ -82,6 +82,11 @@ class Dispatch:
     existing ``device, start, end = cluster.dispatch(...)`` call sites keep
     working; ``device`` is the device that *completes* the batch (the last
     stage under the pipeline layout).
+
+    Under a fault schedule (see :mod:`repro.faults`) ``retried`` marks a
+    batch that was replayed after a device death and ``lost`` marks one
+    that produced no outcomes at all (``end_s`` is then the failure
+    instant, and ``device`` is ``-1`` when no device ever accepted it).
     """
 
     device: int
@@ -90,6 +95,8 @@ class Dispatch:
     devices: tuple[int, ...] = ()
     breakdown: dict[str, float] = field(default_factory=dict)
     stages: tuple[StageDispatch, ...] = ()
+    retried: bool = False
+    lost: bool = False
 
     def __iter__(self):
         return iter((self.device, self.start_s, self.end_s))
@@ -210,6 +217,9 @@ class PlacementLayout(abc.ABC):
             + shipping_s
         )
         start = max(now, effective_busy)
+        # Thermal throttling under a fault schedule; returns the same float
+        # when no slowdown is scheduled, keeping the no-fault path bit-exact.
+        service = cluster.faults.adjust_service(index, start, service)
         end = start + service
         device.busy_until = end
         device.busy_s += service
@@ -368,11 +378,12 @@ class DataParallelLayout(PlacementLayout):
         now: float,
         params: TFHEParameters,
     ) -> Dispatch:
-        busy_until = [device.busy_until for device in cluster.devices]
+        indices = cluster.available_indices(now)
+        busy_until = [cluster.devices[index].busy_until for index in indices]
         resident = cluster.key_residency.resident_flags(
-            batch.requests[0].tenant, range(len(cluster.devices))
+            batch.requests[0].tenant, indices
         )
-        index = cluster.policy.select(busy_until, batch, resident=resident)
+        index = indices[cluster.policy.select(busy_until, batch, resident=resident)]
         return self._dispatch_to_device(
             cluster, batch, now, params, index, cluster.devices[index].busy_until
         )
@@ -430,20 +441,29 @@ class PipelineLayout(PlacementLayout):
         }
 
     def _stage_plan(
-        self, cluster: "StrixCluster", batch: "Batch", params: TFHEParameters
+        self,
+        active: tuple[int, ...],
+        batch: "Batch",
+        params: TFHEParameters,
     ) -> "StagePlan":
-        """The batch's stage plan, partitioned once per request-mix shape."""
+        """The batch's stage plan, partitioned once per request-mix shape.
+
+        Keyed on the tuple of *available* devices, not just their count:
+        under a fault schedule the surviving set changes mid-trace, and a
+        plan cut for devices ``(0, 1, 2, 3)`` must not be replayed onto
+        ``(0, 2, 3)`` — same stage count, different stage-to-device map.
+        Without faults the tuple is constant, so caching behaves exactly
+        as the historical count-keyed cache did.
+        """
         from repro.sched.cost import batch_graph, batch_mix_signature
 
         # Key on the params *object* (frozen, structurally hashed), not its
         # name: replace(PARAM_SET_I, n=...) keeps the name but changes the
         # graph the batch lowers to.
-        signature = (len(cluster.devices), params, batch_mix_signature(batch))
+        signature = (active, params, batch_mix_signature(batch))
         return self._plan_cache.get_or_compute(
             signature,
-            lambda: partition_graph_stages(
-                batch_graph(batch, params), len(cluster.devices)
-            ),
+            lambda: partition_graph_stages(batch_graph(batch, params), len(active)),
         )
 
     def dispatch(
@@ -453,8 +473,9 @@ class PipelineLayout(PlacementLayout):
         now: float,
         params: TFHEParameters,
     ) -> Dispatch:
-        plan = self._stage_plan(cluster, batch, params)
-        targets = tuple(range(len(plan.graphs)))
+        active = tuple(cluster.available_indices(now))
+        plan = self._stage_plan(active, batch, params)
+        targets = active[: len(plan.graphs)]
         shipping_s = self._key_shipping_s(cluster, batch, targets, params)
         input_transfer_s = cluster.interconnect.ciphertext_transfer_s(
             params, batch.total_items
@@ -465,7 +486,7 @@ class PipelineLayout(PlacementLayout):
         transfer_total = input_transfer_s
         entry = now + input_transfer_s + shipping_s
         for stage_index, stage_graph in enumerate(plan.graphs):
-            device = cluster.devices[stage_index]
+            device = cluster.devices[active[stage_index]]
             if stage_index > 0:
                 transfer_in = cluster.interconnect.ciphertext_transfer_s(
                     params, plan.boundary_ciphertexts[stage_index]
@@ -476,18 +497,21 @@ class PipelineLayout(PlacementLayout):
                 transfer_in = input_transfer_s
             cost = cluster.cost_model.stage_cost(stage_graph, params, device)
             start = max(entry, device.busy_until)
-            end = start + cost.compute_s
+            compute_s = cluster.faults.adjust_service(
+                device.index, start, cost.compute_s
+            )
+            end = start + compute_s
             device.busy_until = end
-            device.busy_s += cost.compute_s
+            device.busy_s += compute_s
             device.batches += 1
             device.pbs += cost.pbs
-            compute_total += cost.compute_s
+            compute_total += compute_s
             stages.append(
                 StageDispatch(
                     device=device.index,
                     start_s=start,
                     end_s=end,
-                    compute_s=cost.compute_s,
+                    compute_s=compute_s,
                     transfer_in_s=transfer_in,
                     pbs=cost.pbs,
                 )
@@ -616,6 +640,7 @@ class ElasticLayout(PlacementLayout):
         self._available_at: dict[int, float] = {}
         self.scale_ups = 0
         self.scale_downs = 0
+        self.backfills = 0
 
     def reset(self) -> None:
         super().reset()
@@ -623,6 +648,7 @@ class ElasticLayout(PlacementLayout):
         self._available_at = {}
         self.scale_ups = 0
         self.scale_downs = 0
+        self.backfills = 0
 
     @property
     def runtime_stats(self) -> dict[str, float]:
@@ -631,6 +657,7 @@ class ElasticLayout(PlacementLayout):
             "active_devices": float(len(self._active)),
             "scale_ups": float(self.scale_ups),
             "scale_downs": float(self.scale_downs),
+            "backfills": float(self.backfills),
         }
 
     def _effective_busy(self, cluster: "StrixCluster", index: int) -> float:
@@ -639,8 +666,28 @@ class ElasticLayout(PlacementLayout):
         )
 
     def _autoscale(self, cluster: "StrixCluster", now: float) -> None:
+        available = cluster.available_indices(now)
         if not self._active:
-            self._active = list(range(min(self.min_devices, len(cluster.devices))))
+            self._active = available[: min(self.min_devices, len(available))]
+        else:
+            usable = set(available)
+            if any(index not in usable for index in self._active):
+                # A fault took an active device out.  Drop it and backfill
+                # from available spares up to the floor — each backfill pays
+                # the provisioning latency like any scale-up, but is counted
+                # separately so degraded-mode capacity churn is visible.
+                # Healed devices do not auto-rejoin; later scale-ups pick
+                # them back up on backlog pressure.
+                self._active = [index for index in self._active if index in usable]
+                floor = min(self.min_devices, len(available))
+                for spare in available:
+                    if len(self._active) >= floor:
+                        break
+                    if spare in self._active:
+                        continue
+                    self._active.append(spare)
+                    self._available_at[spare] = now + self.scale_up_latency_s
+                    self.backfills += 1
         # A device still being provisioned is capacity already on its way:
         # it neither counts toward the backlog signal nor allows another
         # scale-up, otherwise its own provisioning delay would read as
@@ -663,13 +710,13 @@ class ElasticLayout(PlacementLayout):
             and len(self._active) < len(cluster.devices)
         ):
             new_index = next(
-                index
-                for index in range(len(cluster.devices))
-                if index not in self._active
+                (index for index in available if index not in self._active),
+                None,
             )
-            self._active.append(new_index)
-            self._available_at[new_index] = now + self.scale_up_latency_s
-            self.scale_ups += 1
+            if new_index is not None:
+                self._active.append(new_index)
+                self._available_at[new_index] = now + self.scale_up_latency_s
+                self.scale_ups += 1
         elif len(self._active) > self.min_devices and all(
             self._effective_busy(cluster, index) + self.scale_down_idle_s <= now
             for index in self._active

@@ -30,6 +30,11 @@ from many tenants.  This package is the layer in between::
 * :mod:`repro.serve.metrics` — p50/p99 latency (global and per tenant),
   throughput, queue depth, device utilization and dispatch-cost breakdowns
   (interconnect transfer, BSK/KSK key shipping);
+* fault injection — pass ``faults=FaultSchedule.of(...)`` (see
+  :mod:`repro.faults`) to serve through seeded device deaths, thermal
+  throttles and interconnect partitions; the report grows an
+  ``availability`` block and ``on_death="retry"|"drop"`` picks what
+  happens to batches whose device dies under them;
 * the ``"strix-cluster"`` runtime backend, so ``run(workload,
   backend="strix-cluster", devices=4, layout="pipeline")`` works from the
   PR 1 facade.
@@ -60,6 +65,7 @@ from repro.sched import (
     list_cost_models,
     list_layouts,
 )
+from repro.faults import FaultEvent, FaultKind, FaultSchedule, RequestLostError
 from repro.serve.backend import StrixClusterBackend
 from repro.serve.batcher import AdaptiveBatcher, Batch
 from repro.serve.cluster import (
@@ -100,6 +106,9 @@ __all__ = [
     "Dispatch",
     "ElasticLayout",
     "EventDrivenCostModel",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
     "KeyAffinityPolicy",
     "LatencySummary",
     "LeastLoadedPolicy",
@@ -108,6 +117,7 @@ __all__ = [
     "PlacementLayout",
     "Request",
     "RequestKind",
+    "RequestLostError",
     "RequestOutcome",
     "RequestQueue",
     "RoundRobinPolicy",

@@ -50,12 +50,18 @@ class Batch:
     flush can ship below capacity when the next whole request would not fit
     (requests are never split), so read fill levels from
     :meth:`fill_fraction`, not from the reason.
+
+    ``attempt`` is 0 for every batch the batcher flushes; the fault
+    injector's retry path replays a batch whose device died under it as a
+    copy with ``attempt`` incremented, so retries are distinguishable in
+    traces without a new identity.
     """
 
     batch_id: int
     requests: tuple[Request, ...]
     created_s: float
     flush_reason: str
+    attempt: int = 0
 
     def __post_init__(self) -> None:
         if not self.requests:

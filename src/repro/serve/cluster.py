@@ -39,6 +39,7 @@ from repro.arch.config import StrixClusterConfig, StrixConfig
 from repro.arch.energy import EnergyModel
 from repro.arch.interconnect import InterconnectModel
 from repro.arch.key_cache import KeyEvictionPolicy, KeyResidencyManager
+from repro.faults import FaultInjector, FaultSchedule
 from repro.params import TFHEParameters
 from repro.runtime.result import RunResult
 from repro.runtime.workload import WorkloadLike, resolve_params
@@ -107,8 +108,18 @@ class StrixCluster:
         key_budget_bytes: float | None = None,
         key_policy: "str | KeyEvictionPolicy | None" = None,
         cost_cache_capacity: int | None = None,
+        faults: FaultSchedule | None = None,
+        on_death: str = "retry",
     ):
         """Build ``N`` identical simulated devices behind one layout.
+
+        ``faults`` is the deterministic fault plan serving replays under
+        (see :mod:`repro.faults`); ``None`` — and the explicit
+        :meth:`~repro.faults.FaultSchedule.empty` — keep every dispatch on
+        the historical fast path, byte-for-byte.  ``on_death`` decides what
+        happens to a batch whose device dies mid-execution: ``"retry"``
+        (default) replays it onto a survivor from the failure instant,
+        ``"drop"`` counts its requests as lost.
 
         ``key_budget_bytes`` / ``key_policy`` override the cluster config's
         key-memory knobs for this cluster; ``None`` means *unspecified*
@@ -180,6 +191,11 @@ class StrixCluster:
                     else DEFAULT_COST_CACHE_CAPACITY
                 ),
             )
+        #: Fault resolver (active only when a non-empty schedule is given).
+        self.faults = FaultInjector(
+            faults if faults is not None else FaultSchedule.empty(),
+            on_death=on_death,
+        )
         self.interconnect = InterconnectModel(config)
         self.key_residency = KeyResidencyManager(
             devices=config.devices,
@@ -199,6 +215,17 @@ class StrixCluster:
 
     def __len__(self) -> int:
         return len(self.devices)
+
+    def available_indices(self, now: float) -> list[int]:
+        """Device indices accepting placement at ``now``.
+
+        Every index when no fault is scheduled (the common case — one list
+        build, no schedule scan); under a schedule, dead and partitioned
+        devices are excluded for the duration of their events.
+        """
+        if not self.faults.active:
+            return list(range(len(self.devices)))
+        return self.faults.schedule.available_indices(now, len(self.devices))
 
     # -- capacity ---------------------------------------------------------------
 
@@ -252,8 +279,17 @@ class StrixCluster:
         historical ``(device, start_s, end_s)`` triple) carrying the cost
         breakdown — transfer, dispatch overhead, key shipping, per-stage
         detail under the pipeline layout.
+
+        With a non-empty fault schedule the dispatch routes through the
+        cluster's :class:`~repro.faults.FaultInjector`, which excludes
+        unreachable devices, replays (or drops) batches killed by a
+        device death, and accounts the availability impact; the returned
+        dispatch then carries ``retried`` / ``lost`` flags.
         """
-        dispatch = self.layout.dispatch(self, batch, now, params)
+        if self.faults.active:
+            dispatch = self.faults.run(self, batch, now, params)
+        else:
+            dispatch = self.layout.dispatch(self, batch, now, params)
         if self.tracer is not None:
             self.tracer.on_dispatch(batch, dispatch)
         return dispatch
@@ -268,6 +304,7 @@ class StrixCluster:
         self.layout.reset()
         self.cost_model.reset()
         self.key_residency.reset()
+        self.faults.reset()
 
     @property
     def key_cache_stats(self) -> dict[str, int]:

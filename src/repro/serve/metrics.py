@@ -113,10 +113,16 @@ class ServeMetrics:
     #: the cost model memoizes (the event model's
     #: :class:`~repro.sched.memo.ScheduleCache`); empty otherwise.
     cost_cache: dict[str, int] = field(default_factory=dict)
+    #: Fault-injection impact (requests lost / retried, recovery time per
+    #: event, key re-ship bytes, degraded seconds) from the cluster's
+    #: :class:`~repro.faults.FaultInjector`; empty — and absent from
+    #: :meth:`to_dict` — when the run had no fault impact, which keeps
+    #: fault-free reports byte-identical to their pre-fault-subsystem form.
+    availability: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable snapshot (what ``BENCH_serve.json`` records)."""
-        return {
+        snapshot = {
             "horizon_s": self.horizon_s,
             "requests": self.requests,
             "batches": self.batches,
@@ -138,6 +144,9 @@ class ServeMetrics:
             "stage_plan_cache": dict(self.stage_plan_cache),
             "cost_cache": dict(self.cost_cache),
         }
+        if self.availability:
+            snapshot["availability"] = dict(self.availability)
+        return snapshot
 
     def render(self) -> str:
         """Multi-line human-readable summary (used by the example)."""
@@ -192,6 +201,14 @@ class ServeMetrics:
                 f"schedules: {costs.get('hits', 0)} cache hits, "
                 f"{costs.get('misses', 0)} simulations, "
                 f"{costs.get('evictions', 0)} evictions"
+            )
+        if self.availability:
+            faults = self.availability
+            lines.append(
+                f"faults: {faults.get('requests_lost', 0)} requests lost, "
+                f"{faults.get('requests_retried', 0)} retried, "
+                f"{faults.get('degraded_s', 0.0) * 1e3:.1f} ms degraded, "
+                f"{faults.get('key_reship_bytes', 0):,} key bytes re-shipped"
             )
         return "\n".join(lines)
 
@@ -286,13 +303,14 @@ class MetricsCollector:
         key_cache: dict[str, int] | None = None,
         stage_plan_cache: dict[str, int] | None = None,
         cost_cache: dict[str, int] | None = None,
+        availability: dict[str, Any] | None = None,
     ) -> ServeMetrics:
         """Fold the observations into one :class:`ServeMetrics`.
 
-        ``key_cache`` / ``stage_plan_cache`` / ``cost_cache`` are
-        end-of-run counter snapshots (read from the cluster's residency
-        manager, the layout and the cost model) rather than accumulated
-        per-batch observations.
+        ``key_cache`` / ``stage_plan_cache`` / ``cost_cache`` /
+        ``availability`` are end-of-run counter snapshots (read from the
+        cluster's residency manager, the layout, the cost model and the
+        fault injector) rather than accumulated per-batch observations.
         """
         latencies = [outcome.latency_s for outcome in self.outcomes]
         delays = [outcome.queue_delay_s for outcome in self.outcomes]
@@ -331,4 +349,5 @@ class MetricsCollector:
             key_cache=dict(key_cache or {}),
             stage_plan_cache=dict(stage_plan_cache or {}),
             cost_cache=dict(cost_cache or {}),
+            availability=dict(availability or {}),
         )

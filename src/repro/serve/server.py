@@ -29,6 +29,7 @@ from typing import Any, Iterable
 
 from repro.arch.config import StrixClusterConfig
 from repro.arch.key_cache import KeyEvictionPolicy
+from repro.faults import FaultSchedule, RequestLostError
 from repro.fft.registry import register_transform_cache_view
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
@@ -111,6 +112,16 @@ class ServeConfig:
         Full :class:`~repro.arch.config.StrixClusterConfig` when the cost
         knobs (interconnect bandwidth, dispatch overhead, per-device
         architecture) matter; its device count wins over ``devices``.
+    faults:
+        A :class:`~repro.faults.FaultSchedule` of device deaths, thermal
+        throttles and interconnect partitions to inject during the run;
+        ``None`` (default) serves fault-free and stays byte-identical to
+        the pre-fault-subsystem behaviour.  See ``docs/resilience.md``.
+    on_death:
+        What happens to a batch whose device dies under it: ``"retry"``
+        (default) replays it on the surviving devices, ``"drop"`` loses it
+        — its requests produce no outcomes and async submitters awaiting
+        them raise :class:`~repro.faults.RequestLostError`.
     """
 
     params: TFHEParameters | str = "I"
@@ -127,6 +138,8 @@ class ServeConfig:
     batch_capacity: int | None = None
     seed: int = 0
     cluster: StrixClusterConfig | None = None
+    faults: FaultSchedule | None = None
+    on_death: str = "retry"
 
 
 @dataclass
@@ -223,6 +236,8 @@ class Server:
             cost_cache_capacity=config.cost_cache_capacity,
             key_budget_bytes=config.key_budget_bytes,
             key_policy=config.key_policy,
+            faults=config.faults,
+            on_death=config.on_death,
         )
         self.batch_capacity = (
             config.batch_capacity
@@ -294,6 +309,12 @@ class Server:
         self.registry.register_view(
             "serve_layout", lambda: self.cluster.layout.runtime_stats,
             "Placement-layout runtime state",
+        )
+        # Empty (and sample-free in collect()) unless a fault schedule is
+        # installed, so fault-free STATS output is unchanged.
+        self.registry.register_view(
+            "serve_faults", lambda: self.cluster.faults.stats_view(),
+            "Fault-injection schedule and impact counters",
         )
         # Process-wide, not per-server: the negacyclic transform cache is
         # shared by every scalar and vectorized kernel in the process.
@@ -372,13 +393,22 @@ class Server:
         """
         return self.registry.collect()
 
-    def snapshot(self, window: int = 256, now_s: float | None = None) -> ServeSnapshot:
+    def snapshot(
+        self,
+        window: int = 256,
+        now_s: float | None = None,
+        window_s: float | None = None,
+    ) -> ServeSnapshot:
         """A point-in-time reading of the serving state.
 
         ``now_s`` defaults to the wall clock of the active async context
         (requires a running event loop) or the serving clock otherwise;
         ``window`` bounds the trailing outcomes the per-tenant p99 is
-        computed over.  This is the feed :meth:`watch` yields periodically.
+        computed over.  ``window_s`` additionally bounds them in *time*:
+        only outcomes completed after ``now_s - window_s`` count, so a
+        tenant that went idle drops out of ``tenant_p99_s`` instead of
+        inheriting a stale percentile from its last burst forever.  This
+        is the feed :meth:`watch` yields periodically.
         """
         if now_s is None:
             if self._async_metrics is not None:
@@ -392,6 +422,9 @@ class Server:
         )
         outcomes = collector.outcomes if collector is not None else []
         recent = outcomes[-window:] if window > 0 else []
+        if window_s is not None:
+            cutoff = now_s - window_s
+            recent = [outcome for outcome in recent if outcome.completed_s > cutoff]
         per_tenant: dict[str, list[float]] = {}
         for outcome in recent:
             per_tenant.setdefault(outcome.request.tenant, []).append(
@@ -417,7 +450,12 @@ class Server:
             },
         )
 
-    async def watch(self, interval_s: float = 0.05, window: int = 256):
+    async def watch(
+        self,
+        interval_s: float = 0.05,
+        window: int = 256,
+        window_s: float | None = None,
+    ):
         """Yield a :class:`~repro.serve.metrics.ServeSnapshot` every
         ``interval_s`` while the async context is active.
 
@@ -432,7 +470,7 @@ class Server:
                 "use `async with Server(...) as server`"
             )
         while self._async_metrics is not None:
-            yield self.snapshot(window=window)
+            yield self.snapshot(window=window, window_s=window_s)
             await asyncio.sleep(interval_s)
 
     # -- tenants -----------------------------------------------------------------
@@ -566,6 +604,7 @@ class Server:
             key_cache=self.cluster.key_cache_stats,
             stage_plan_cache=self.cluster.layout.plan_cache_stats,
             cost_cache=self.cluster.cost_cache_stats,
+            availability=self.cluster.faults.availability(horizon),
         )
         return ServeReport(
             label=label,
@@ -591,6 +630,14 @@ class Server:
     def _dispatch(self, batch: Batch, metrics: MetricsCollector) -> float:
         """Send one batch to the cluster and record its outcomes."""
         dispatch = self.cluster.dispatch(batch, batch.created_s, self.params)
+        if dispatch.lost:
+            # The batch died with its device and the on_death policy did
+            # not replay it: no outcomes, no tenant accounting, no serving
+            # counters — the loss is charged to the fault injector, which
+            # the report's availability block and the conservation law
+            # (completed + lost == submitted) read it back from.
+            self._fail_lost_futures(batch)
+            return dispatch.end_s
         for request in batch.requests:
             self._account(request)
         outcomes = [
@@ -714,6 +761,7 @@ class Server:
             key_cache=self.cluster.key_cache_stats,
             stage_plan_cache=self.cluster.layout.plan_cache_stats,
             cost_cache=self.cluster.cost_cache_stats,
+            availability=self.cluster.faults.availability(horizon),
         )
         return ServeReport(
             label=label,
@@ -865,6 +913,7 @@ class Server:
                         key_cache=self.cluster.key_cache_stats,
                         stage_plan_cache=self.cluster.layout.plan_cache_stats,
                         cost_cache=self.cluster.cost_cache_stats,
+                        availability=self.cluster.faults.availability(horizon),
                     ),
                     outcomes=list(metrics.outcomes),
                 )
@@ -922,3 +971,15 @@ class Server:
             future = self._async_futures.pop(outcome.request.request_id, None)
             if future is not None and not future.done():
                 future.set_result(outcome)
+
+    def _fail_lost_futures(self, batch: Batch) -> None:
+        """Raise :class:`RequestLostError` into awaiters of a lost batch."""
+        for request in batch.requests:
+            future = self._async_futures.pop(request.request_id, None)
+            if future is not None and not future.done():
+                future.set_exception(
+                    RequestLostError(
+                        f"request {request.request_id} (tenant "
+                        f"{request.tenant!r}) was lost to a device fault"
+                    )
+                )

@@ -36,6 +36,7 @@ def test_docs_exist_and_carry_snippets():
         "key_memory.md",
         "performance.md",
         "networking.md",
+        "resilience.md",
     } <= names
     assert len(SNIPPETS) >= 17
 

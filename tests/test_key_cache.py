@@ -427,3 +427,60 @@ def test_residency_reset_clears_everything():
     assert all(value == 0 for value in stats.values())
     assert cluster.key_residency.resident_devices("a") == frozenset()
     assert cluster.key_residency.resident_devices("b") == frozenset()
+
+
+# -- device-death recovery (the fault injector's reclamation path) -------------------
+
+
+def test_evict_device_reclaims_every_resident_tenant():
+    cluster = StrixCluster(devices=2)
+    manager = cluster.key_residency
+    manager.place(["a", "b"], [0, 1], PARAM_SET_I)  # onboarding, free
+    assert manager.resident_devices("a") == frozenset({0, 1})
+    evicted = manager.evict_device(0)
+    assert evicted == ["a", "b"]
+    assert manager.resident_devices("a") == frozenset({1})
+    assert manager.resident_devices("b") == frozenset({1})
+    assert manager.stats.evictions == 2
+    # Double death: the device is already empty, nothing more to reclaim.
+    assert manager.evict_device(0) == []
+    assert manager.stats.evictions == 2
+
+
+def test_death_then_return_pays_exactly_one_reship():
+    cluster = StrixCluster(devices=2)
+    manager = cluster.key_residency
+    per_ship = cluster.interconnect.key_shipping_s(PARAM_SET_I)
+    manager.place(["a"], [0, 1], PARAM_SET_I)
+    manager.evict_device(0)
+    # The healed device returns empty: landing there again re-ships once.
+    assert manager.place(["a"], [0], PARAM_SET_I) == pytest.approx(per_ship)
+    assert manager.stats.reships == 1
+    # Now resident again: the next placement is a hit, not another ship.
+    assert manager.place(["a"], [0], PARAM_SET_I) == 0.0
+    assert manager.stats.reships == 1
+
+
+def test_die_heal_die_charges_each_return():
+    cluster = StrixCluster(devices=2)
+    manager = cluster.key_residency
+    per_ship = cluster.interconnect.key_shipping_s(PARAM_SET_I)
+    manager.place(["a"], [0, 1], PARAM_SET_I)
+    manager.evict_device(0)
+    assert manager.place(["a"], [0], PARAM_SET_I) == pytest.approx(per_ship)
+    manager.evict_device(0)
+    assert manager.place(["a"], [0], PARAM_SET_I) == pytest.approx(per_ship)
+    assert manager.stats.reships == 2
+    assert manager.stats.evictions == 2  # one resident tenant, two deaths
+
+
+def test_evict_device_notifies_the_policy():
+    cluster = StrixCluster(devices=2, key_budget_bytes=budget_for_single(2))
+    manager = cluster.key_residency
+    manager.place(["a", "b"], [0], PARAM_SET_I)
+    manager.evict_device(0)
+    # LRU state for the device is gone: re-placing both starts fresh and
+    # stays within budget without phantom entries.
+    manager.place(["a", "b"], [0], PARAM_SET_I)
+    assert manager.resident_devices("a") == frozenset({0})
+    assert manager.resident_devices("b") == frozenset({0})

@@ -185,6 +185,34 @@ def test_latency_summary_orders_percentiles():
     assert empty.count == 0 and empty.p99_s == 0.0
 
 
+def test_snapshot_window_s_drops_idle_tenants():
+    """A tenant with no completions inside the time window has no p99.
+
+    Without the time bound, a tenant that burst once and went idle keeps
+    its stale percentile in every later snapshot — the count-bounded
+    window never ages it out on a quiet server.
+    """
+    trace = [
+        make_request(1, items=4, arrival_s=0.001, tenant="cold"),
+        make_request(2, items=4, arrival_s=0.002, tenant="hot"),
+        make_request(3, items=4, arrival_s=0.090, tenant="hot"),
+    ]
+    server = Server(devices=2)
+    server.replay_begin()
+    for request in trace:
+        server.replay_offer(request)
+    server.replay_drain()
+    stale = server.snapshot(now_s=0.1)
+    assert set(stale.tenant_p99_s) == {"cold", "hot"}  # cold is inherited
+    fresh = server.snapshot(now_s=0.1, window_s=0.05)
+    assert "cold" not in fresh.tenant_p99_s
+    assert "hot" in fresh.tenant_p99_s
+    # A window wide enough to cover everything changes nothing.
+    wide = server.snapshot(now_s=0.1, window_s=10.0)
+    assert wide.tenant_p99_s == stale.tenant_p99_s
+    server.replay_finish(label="window")
+
+
 # -- traffic generators -------------------------------------------------------------
 
 
