@@ -32,7 +32,14 @@ Writes ``BENCH_serve.json`` with two families of records:
   mid-trace per layout (requests lost, recovery seconds, key re-ship
   bytes, p99 under degradation — all deterministic), and the
   ``faults/none/bit_identical`` record proving an empty fault schedule
-  keeps serving byte-identical.
+  keeps serving byte-identical;
+* ``overload/...`` — admission control under saturation: goodput and
+  p99-of-admitted at 1x/2x/4x the cluster's measured capacity per
+  admission policy (all deterministic), plus the acceptance record — at
+  4x saturation a reject-newest server keeps admitted p99 within 2x of
+  its 1x baseline while goodput stays >= 80% of device capacity.  The
+  shed-oldest records at >= 2x honestly exhibit the head-drop/age-flush
+  livelock ``docs/overload.md`` discusses.
 
 Run it directly (``--smoke`` shrinks the traces for CI)::
 
@@ -53,6 +60,7 @@ from repro.apps.traffic import bursty_trace, heavy_tail_trace, steady_trace  # n
 from repro.faults import FaultSchedule  # noqa: E402
 from repro.net.loadgen import closed_loop, replay_trace  # noqa: E402
 from repro.serve import Request, Server  # noqa: E402
+from repro.serve.request import RequestKind  # noqa: E402
 
 #: The Fig. 7 application workload the cluster scaling study runs.
 FIG7_WORKLOAD = "NN-20"
@@ -464,6 +472,73 @@ def bench_faults(report: BenchReport, duration_s: float, seed: int) -> None:
     print()
 
 
+#: Sustained completion rate (requests/s) of the 4-device params-"I"
+#: cluster under the bootstrap-only overload mix — measured once with an
+#: unbounded queue; the saturation multipliers below scale off it.
+OVERLOAD_CAPACITY_RPS = 31300.0
+
+
+def bench_overload(report: BenchReport, duration_s: float, seed: int) -> None:
+    """Admission control at 1x/2x/4x saturation, per policy.
+
+    The server flushes on the batch deadline only (``batch_capacity`` well
+    past what a flush window can accumulate), so the bounded request queue
+    is the backpressure point and the admission policy is what keeps the
+    device backlog finite.  Everything here replays deterministically:
+    goodput, admitted-tail latency and every shed/reject count are
+    bit-for-bit functions of the trace and the policy.
+    """
+    mix = {RequestKind.BOOTSTRAP: 1.0}
+    config = dict(
+        devices=4, params="I", queue_capacity=64, batch_capacity=4096
+    )
+    baselines: dict[str, dict[int, tuple[float, float]]] = {}
+    for policy in ("reject-newest", "shed-oldest", "tenant-quota"):
+        baselines[policy] = {}
+        for mult in (1, 2, 4):
+            trace = steady_trace(
+                rate_rps=OVERLOAD_CAPACITY_RPS * mult,
+                duration_s=duration_s,
+                seed=seed,
+                kind_mix=mix,
+            )
+            server = Server(admission=policy, **config)
+            result = server.simulate(list(trace), label=f"overload-{mult}x")
+            metrics = result.metrics
+            overload = metrics.overload
+            goodput = metrics.requests / duration_s
+            baselines[policy][mult] = (goodput, metrics.latency.p99_s)
+            base = f"overload/{policy}/{mult}x"
+            report.add(f"{base}/goodput", goodput, "req/s")
+            report.add(f"{base}/p99_admitted", metrics.latency.p99_s, "s")
+            report.add(f"{base}/rejected", overload.get("rejected", 0), "count")
+            report.add(f"{base}/shed", overload.get("shed", 0), "count")
+            conserved = (
+                metrics.requests
+                + overload.get("rejected", 0)
+                + overload.get("shed", 0)
+                + overload.get("expired", 0)
+                == len(trace)
+            )
+            report.add(f"{base}/conserved", 1.0 if conserved else 0.0, "bool")
+
+    goodput_1x, p99_1x = baselines["reject-newest"][1]
+    goodput_4x, p99_4x = baselines["reject-newest"][4]
+    p99_ratio = p99_4x / p99_1x
+    goodput_fraction = goodput_4x / OVERLOAD_CAPACITY_RPS
+    accepted = p99_ratio <= 2.0 and goodput_fraction >= 0.8
+    report.add("overload/acceptance/p99_ratio_4x", p99_ratio, "x")
+    report.add("overload/acceptance/goodput_fraction_4x", goodput_fraction, "frac")
+    report.add("overload/acceptance/pass", 1.0 if accepted else 0.0, "bool")
+    print(
+        f"overload: reject-newest 4x saturation p99 {p99_4x * 1e3:.2f}ms "
+        f"({p99_ratio:.2f}x of 1x), goodput {goodput_4x:.0f} req/s "
+        f"({goodput_fraction:.0%} of capacity) -> "
+        f"{'PASS' if accepted else 'FAIL'}"
+    )
+    print()
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -486,6 +561,7 @@ def main() -> None:
     bench_cost_cache(report, duration_s, args.seed)
     bench_net(report, duration_s, args.seed)
     bench_faults(report, duration_s, args.seed)
+    bench_overload(report, duration_s, args.seed)
     path = report.write(args.output)
     print(f"[saved {len(report.records)} records to {path}]")
 

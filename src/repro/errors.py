@@ -85,6 +85,18 @@ class UnknownMetricError(UnknownNameError):
     kind = "metric"
 
 
+class UnknownAdmissionPolicyError(UnknownNameError, ValueError):
+    """Unknown admission-policy name (``repro.flow.get_admission_policy``).
+
+    Also a ``ValueError``: admission is an argument-validation surface
+    (``Server(admission=...)``) and its callers match on ``ValueError``
+    like the sharding-policy and kernel knobs.
+    """
+
+    kind = "admission policy"
+    kind_plural = "admission policies"
+
+
 class UnknownKernelError(UnknownNameError, ValueError):
     """Unknown kernel-backend name (``"scalar"`` / ``"vectorized"``).
 

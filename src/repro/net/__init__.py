@@ -15,8 +15,23 @@ Layering, bottom up:
   round-trip capture.
 * :mod:`repro.net.loadgen` — closed-loop load generation over loopback
   sockets, feeding :mod:`repro.apps.traffic` traces to a real server.
+
+Overload protection (see :mod:`repro.flow`) is wired through every layer:
+WELCOME can advertise a per-connection credit window, RESULT piggy-backs
+replenished credits, a saturated server answers BUSY with a deterministic
+retry-after hint, and the clients turn those into typed
+:class:`~repro.flow.retry.ServerBusyError` /
+:class:`~repro.flow.retry.RequestTimeoutError` raises plus a
+retry-with-backoff loop (:meth:`AsyncNetClient.submit_with_retry`).
 """
 
+from repro.flow.retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RequestTimeoutError,
+    RetryPolicy,
+    ServerBusyError,
+)
 from repro.net.client import AsyncNetClient, NetClient, NetError
 from repro.net.codec import (
     ResultMessage,
@@ -39,6 +54,7 @@ from repro.net.protocol import (
     MAX_PAYLOAD_BYTES,
     PROTOCOL_VERSION,
     SUPPORTED_VERSIONS,
+    BusyReply,
     ErrorCode,
     ErrorReply,
     Frame,
@@ -46,6 +62,7 @@ from repro.net.protocol import (
     MessageType,
     Pong,
     ProtocolError,
+    Welcome,
     decode_stats,
     encode_frame,
     encode_stats,
@@ -59,6 +76,9 @@ __all__ = [
     "PROTOCOL_VERSION",
     "SUPPORTED_VERSIONS",
     "AsyncNetClient",
+    "BusyReply",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ErrorCode",
     "ErrorReply",
     "Frame",
@@ -69,8 +89,12 @@ __all__ = [
     "NetServer",
     "Pong",
     "ProtocolError",
+    "RequestTimeoutError",
     "ResultMessage",
+    "RetryPolicy",
+    "ServerBusyError",
     "SubmitMessage",
+    "Welcome",
     "WireStats",
     "closed_loop",
     "closed_loop_async",

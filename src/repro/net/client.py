@@ -14,7 +14,15 @@ sockets, one outstanding request at a time, no event loop required.
 
 Typed ``ERROR`` replies surface as :class:`NetError` — carrying the decoded
 :class:`~repro.net.protocol.ErrorReply` — never as silently dropped
-connections.
+connections.  Overload answers are typed too: a ``BUSY`` frame raises
+:class:`~repro.flow.retry.ServerBusyError` with the server's deterministic
+retry-after hint, a per-request ``timeout_s`` raises
+:class:`~repro.flow.retry.RequestTimeoutError`, and
+:meth:`AsyncNetClient.submit_with_retry` folds both into a capped,
+seeded-jitter backoff loop guarded by a circuit breaker (see
+:mod:`repro.flow.retry`).  When the server's WELCOME advertises a credit
+window the async client self-limits: a ``submit`` past the window parks on
+a credit instead of earning a BUSY round trip.
 """
 
 from __future__ import annotations
@@ -24,6 +32,12 @@ import socket
 import time
 from typing import Any
 
+from repro.flow.retry import (
+    CircuitBreaker,
+    RequestTimeoutError,
+    RetryPolicy,
+    ServerBusyError,
+)
 from repro.net import codec, protocol
 from repro.net.codec import ResultMessage
 from repro.net.protocol import (
@@ -71,6 +85,18 @@ class AsyncNetClient:
         self._reader_task: asyncio.Task | None = None
         self._closed = False
         self.negotiated_version: int | None = None
+        #: In-flight window the server's WELCOME advertised (``None`` when
+        #: the server runs without credit-based flow control).
+        self.credit_window: int | None = None
+        self._inflight = 0
+        self._credit_free = asyncio.Event()
+        self._credit_free.set()
+        #: Times a ``submit`` had to park waiting for a credit.
+        self.credit_stalls = 0
+        #: BUSY replies received (shed work and exhausted windows).
+        self.busy_replies = 0
+        #: Re-sends performed by :meth:`submit_with_retry`.
+        self.retries = 0
         #: Round-trip seconds of every awaited ``submit`` call.
         self.rtts_s: list[float] = []
         #: Round-trip seconds of every ``ping`` call.
@@ -94,7 +120,9 @@ class AsyncNetClient:
         loop = asyncio.get_running_loop()
         client._hello = loop.create_future()
         await client._send(MessageType.HELLO, protocol.encode_hello(versions))
-        client.negotiated_version = await client._hello
+        welcome = await client._hello
+        client.negotiated_version = welcome.version
+        client.credit_window = welcome.credit_window
         return client
 
     # -- requests ----------------------------------------------------------------
@@ -106,8 +134,21 @@ class AsyncNetClient:
         items: int = 1,
         model: str | None = None,
         ciphertexts: Any = None,
+        deadline_s: float | None = None,
+        timeout_s: float | None = None,
     ) -> RequestOutcome:
-        """Submit live work and wait for its outcome (round trip is timed)."""
+        """Submit live work and wait for its outcome (round trip is timed).
+
+        ``deadline_s`` is a relative latency budget the server resolves
+        against the arrival it stamps (expired work earns a typed
+        ``DEADLINE_EXCEEDED`` error, never a silent drop).  ``timeout_s``
+        bounds *this* call client-side: past it the wait is abandoned with
+        :class:`~repro.flow.retry.RequestTimeoutError` while the server may
+        still finish the work.  When the server advertised a credit window,
+        a submit past it parks here until a RESULT frees a credit (counted
+        in :attr:`credit_stalls`) instead of earning a BUSY round trip.
+        """
+        await self._acquire_credit()
         self._next_id += 1
         request = Request.make(self._next_id, tenant, kind, items, model=model)
         payload = codec.encode_submit(
@@ -117,9 +158,87 @@ class AsyncNetClient:
             items,
             model=model,
             ciphertexts=ciphertexts,
+            deadline_s=deadline_s,
         )
-        future = await self._send_submit(request, payload)
-        return await future
+        try:
+            future = self._register(request, credited=True)
+        except BaseException:
+            self._release_credit(True)
+            raise
+        try:
+            await self._send(MessageType.SUBMIT, payload)
+        except BaseException:
+            # The reader may have already failed (and released) the entry
+            # while we awaited the write; release only what we still own.
+            entry = self._pending.pop(request.request_id, None)
+            if entry is not None:
+                self._release_credit(entry[3])
+            raise
+        if timeout_s is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, timeout_s)
+        except asyncio.TimeoutError:
+            # Abandon the wait; if the RESULT still lands later the reader
+            # finds no pending entry and drops it on the floor.
+            entry = self._pending.pop(request.request_id, None)
+            if entry is not None:
+                self._release_credit(entry[3])
+            raise RequestTimeoutError(
+                f"request {request.request_id} timed out after {timeout_s}s "
+                "waiting for its RESULT"
+            ) from None
+
+    async def submit_with_retry(
+        self,
+        tenant: str,
+        kind: str,
+        items: int = 1,
+        model: str | None = None,
+        ciphertexts: Any = None,
+        deadline_s: float | None = None,
+        timeout_s: float | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+    ) -> RequestOutcome:
+        """``submit`` wrapped in capped, seeded-jitter backoff.
+
+        Retries :class:`~repro.flow.retry.ServerBusyError` (honouring the
+        server's retry-after hint as a floor) and
+        :class:`~repro.flow.retry.RequestTimeoutError`; other failures
+        propagate immediately.  An optional ``breaker`` short-circuits the
+        loop with :class:`~repro.flow.retry.CircuitOpenError` once the
+        server looks down, so a saturated backend is not hammered.
+        """
+        retry = retry if retry is not None else RetryPolicy()
+        loop = asyncio.get_running_loop()
+        attempt = 0
+        while True:
+            attempt += 1
+            if breaker is not None:
+                breaker.check(loop.time())
+            try:
+                outcome = await self.submit(
+                    tenant,
+                    kind,
+                    items,
+                    model=model,
+                    ciphertexts=ciphertexts,
+                    deadline_s=deadline_s,
+                    timeout_s=timeout_s,
+                )
+            except (ServerBusyError, RequestTimeoutError) as error:
+                if breaker is not None:
+                    breaker.record_failure(loop.time())
+                if not retry.should_retry(attempt):
+                    raise
+                hint = error.retry_after_s if isinstance(error, ServerBusyError) else 0.0
+                self.retries += 1
+                await asyncio.sleep(retry.delay_s(attempt, hint))
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            return outcome
 
     async def submit_request(self, request: Request) -> RequestOutcome:
         """Submit an existing request (timestamps included) and await it."""
@@ -144,15 +263,34 @@ class AsyncNetClient:
         await self._send(MessageType.SUBMIT, payload)
         return future
 
-    def _register(self, request: Request) -> asyncio.Future:
+    def _register(self, request: Request, credited: bool = False) -> asyncio.Future:
         if self._closed:
             raise ConnectionError("the client is closed")
         if request.request_id in self._pending:
             raise ValueError(f"request id {request.request_id} is already in flight")
         self._next_id = max(self._next_id, request.request_id)
         future = asyncio.get_running_loop().create_future()
-        self._pending[request.request_id] = (request, time.perf_counter(), future)
+        self._pending[request.request_id] = (request, time.perf_counter(), future, credited)
         return future
+
+    # -- credits -----------------------------------------------------------------
+
+    async def _acquire_credit(self) -> None:
+        """Park until the advertised in-flight window has room (if any)."""
+        if self.credit_window is None:
+            return
+        if self._inflight >= self.credit_window:
+            self.credit_stalls += 1
+            while self._inflight >= self.credit_window:
+                self._credit_free.clear()
+                await self._credit_free.wait()
+        self._inflight += 1
+
+    def _release_credit(self, credited: bool) -> None:
+        if not credited or self.credit_window is None:
+            return
+        self._inflight -= 1
+        self._credit_free.set()
 
     async def ping(self) -> Pong:
         """Round-trip latency echo; the RTT lands in :attr:`ping_rtts_s`."""
@@ -245,6 +383,8 @@ class AsyncNetClient:
         msg_type = frame.msg_type
         if msg_type == MessageType.RESULT:
             self._handle_result(codec.decode_result(frame.payload))
+        elif msg_type == MessageType.BUSY:
+            self._handle_busy(protocol.decode_busy(frame.payload))
         elif msg_type == MessageType.ERROR:
             self._handle_error(protocol.decode_error(frame.payload))
         elif msg_type == MessageType.WELCOME:
@@ -269,17 +409,32 @@ class AsyncNetClient:
         entry = self._pending.pop(message.request_id, None)
         if entry is None:
             return
-        request, sent_at, future = entry
+        request, sent_at, future, credited = entry
+        self._release_credit(credited)
         self.rtts_s.append(time.perf_counter() - sent_at)
         if not future.done():
             future.set_result(message.to_outcome(request))
+
+    def _handle_busy(self, busy: protocol.BusyReply) -> None:
+        """A BUSY reply: the server shed or refused this request."""
+        self.busy_replies += 1
+        entry = self._pending.pop(busy.request_id, None)
+        if entry is None:
+            return
+        _, _, future, credited = entry
+        self._release_credit(credited)
+        if not future.done():
+            future.set_exception(
+                ServerBusyError(busy.reason, retry_after_s=busy.retry_after_s)
+            )
 
     def _handle_error(self, reply: ErrorReply) -> None:
         error = NetError(reply)
         if reply.request_id:
             entry = self._pending.pop(reply.request_id, None)
             if entry is not None:
-                _, _, future = entry
+                _, _, future, credited = entry
+                self._release_credit(credited)
                 if not future.done():
                     future.set_exception(error)
                 return
@@ -289,7 +444,8 @@ class AsyncNetClient:
         self._fail_pending(error)
 
     def _fail_pending(self, error: Exception) -> None:
-        for _, _, future in self._pending.values():
+        for _, _, future, credited in self._pending.values():
+            self._release_credit(credited)
             if not future.done():
                 future.set_exception(error)
         self._pending.clear()
@@ -325,9 +481,14 @@ class NetClient:
         self._closed = False
         #: Round-trip seconds of every ``submit`` and ``ping`` call.
         self.rtts_s: list[float] = []
+        self._timeout = timeout
         self._send(MessageType.HELLO, protocol.encode_hello(versions))
-        welcome = self._expect(MessageType.WELCOME)
-        self.negotiated_version = protocol.decode_welcome(welcome.payload)
+        frame = self._expect(MessageType.WELCOME)
+        welcome = protocol.decode_welcome(frame.payload)
+        self.negotiated_version = welcome.version
+        #: In-flight window the server's WELCOME advertised (informational
+        #: here: the blocking client never has more than one in flight).
+        self.credit_window = welcome.credit_window
 
     def submit(
         self,
@@ -336,17 +497,38 @@ class NetClient:
         items: int = 1,
         model: str | None = None,
         ciphertexts: Any = None,
+        deadline_s: float | None = None,
+        timeout_s: float | None = None,
     ) -> RequestOutcome:
-        """Submit live work and block until its outcome arrives."""
+        """Submit live work and block until its outcome arrives.
+
+        ``deadline_s`` is the relative server-side latency budget;
+        ``timeout_s`` bounds this call client-side and raises
+        :class:`~repro.flow.retry.RequestTimeoutError` when it runs out.
+        A BUSY reply (shed or refused work) raises
+        :class:`~repro.flow.retry.ServerBusyError` with the server's
+        retry-after hint.
+        """
         self._next_id += 1
         request = Request.make(self._next_id, tenant, kind, items, model=model)
         payload = codec.encode_submit(
             request.request_id, tenant, request.kind.value, items,
-            model=model, ciphertexts=ciphertexts,
+            model=model, ciphertexts=ciphertexts, deadline_s=deadline_s,
         )
         started = time.perf_counter()
-        self._send(MessageType.SUBMIT, payload)
-        frame = self._expect(MessageType.RESULT)
+        if timeout_s is not None:
+            self._sock.settimeout(timeout_s)
+        try:
+            self._send(MessageType.SUBMIT, payload)
+            frame = self._expect(MessageType.RESULT)
+        except socket.timeout:
+            raise RequestTimeoutError(
+                f"request {request.request_id} timed out after {timeout_s}s "
+                "waiting for its RESULT"
+            ) from None
+        finally:
+            if timeout_s is not None:
+                self._sock.settimeout(self._timeout)
         self.rtts_s.append(time.perf_counter() - started)
         return codec.decode_result(frame.payload).to_outcome(request)
 
@@ -388,6 +570,9 @@ class NetClient:
             frame = self._next_frame()
             if frame.msg_type == MessageType.ERROR:
                 raise NetError(protocol.decode_error(frame.payload))
+            if frame.msg_type == MessageType.BUSY:
+                busy = protocol.decode_busy(frame.payload)
+                raise ServerBusyError(busy.reason, retry_after_s=busy.retry_after_s)
             if frame.msg_type == msg_type:
                 return frame
             # Any other frame (e.g. a stray PONG) is skipped.

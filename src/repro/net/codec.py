@@ -32,9 +32,12 @@ from repro.tfhe.serialization import lwe_from_bytes, lwe_to_bytes
 HAS_ARRIVAL = 1 << 0
 HAS_MODEL = 1 << 1
 HAS_CIPHERTEXTS = 1 << 2
+HAS_DEADLINE = 1 << 3
 
 _SUBMIT_FIXED = struct.Struct("!QBId")
+_DEADLINE = struct.Struct("!d")
 _RESULT = struct.Struct("!QQIddd")
+_CREDITS = struct.Struct("!H")
 
 
 @dataclass(frozen=True)
@@ -45,6 +48,11 @@ class SubmitMessage:
     trace (deterministic mode) and ``None`` for live traffic, where the
     server stamps arrivals on its own clock.  ``ciphertexts`` holds the raw
     LWE batch bytes when the submission carries real encrypted payloads.
+
+    ``deadline_s`` is *absolute* serving-clock time when ``arrival_s`` is
+    carried (replay: the trace's exact deadline field survives the wire
+    bit-for-bit) and a *relative* latency budget for live traffic (the
+    server resolves it against the arrival it stamps).
     """
 
     request_id: int
@@ -54,13 +62,14 @@ class SubmitMessage:
     arrival_s: float | None = None
     model: str | None = None
     ciphertexts: bytes | None = None
+    deadline_s: float | None = None
 
     def to_request(self) -> Request:
         """The serving-layer request this submission describes.
 
         Replayed submissions rebuild the original trace request bit-for-bit
-        (same id, same timestamp); live submissions leave ``arrival_s`` to
-        the server.
+        (same id, same timestamp, same absolute deadline); live submissions
+        leave ``arrival_s`` (and deadline resolution) to the server.
         """
         return Request.make(
             self.request_id,
@@ -69,6 +78,7 @@ class SubmitMessage:
             self.items,
             arrival_s=self.arrival_s if self.arrival_s is not None else 0.0,
             model=self.model,
+            deadline_s=self.deadline_s,
         )
 
     def decode_ciphertexts(self, params: TFHEParameters) -> list[LweCiphertext]:
@@ -86,18 +96,23 @@ def encode_submit(
     arrival_s: float | None = None,
     model: str | None = None,
     ciphertexts: "list[LweCiphertext] | bytes | None" = None,
+    deadline_s: float | None = None,
 ) -> bytes:
     """Encode one ``SUBMIT`` payload.
 
     ``ciphertexts`` accepts either ready-made bytes (from
     :func:`~repro.tfhe.serialization.lwe_to_bytes`) or a list of
     :class:`~repro.tfhe.lwe.LweCiphertext` to encode in place.
+    ``deadline_s`` is absolute when ``arrival_s`` is given, a relative
+    budget otherwise (see :class:`SubmitMessage`).
     """
     flags = 0
     if arrival_s is not None:
         flags |= HAS_ARRIVAL
     if model is not None:
         flags |= HAS_MODEL
+    if deadline_s is not None:
+        flags |= HAS_DEADLINE
     blob = b""
     if ciphertexts is not None:
         blob = ciphertexts if isinstance(ciphertexts, bytes) else lwe_to_bytes(ciphertexts)
@@ -105,6 +120,8 @@ def encode_submit(
     payload = _SUBMIT_FIXED.pack(
         request_id, flags, items, arrival_s if arrival_s is not None else 0.0
     )
+    if deadline_s is not None:
+        payload += _DEADLINE.pack(deadline_s)
     payload += pack_str(tenant) + pack_str(kind)
     if model is not None:
         payload += pack_str(model)
@@ -119,6 +136,12 @@ def decode_submit(payload: bytes) -> SubmitMessage:
         raise ValueError("SUBMIT payload is truncated before its fixed fields end")
     request_id, flags, items, arrival_s = _SUBMIT_FIXED.unpack_from(payload, 0)
     offset = _SUBMIT_FIXED.size
+    deadline_s = None
+    if flags & HAS_DEADLINE:
+        if len(payload) < offset + _DEADLINE.size:
+            raise ValueError("SUBMIT payload is truncated inside its deadline field")
+        (deadline_s,) = _DEADLINE.unpack_from(payload, offset)
+        offset += _DEADLINE.size
     tenant, offset = unpack_str(payload, offset)
     kind, offset = unpack_str(payload, offset)
     model = None
@@ -146,11 +169,23 @@ def decode_submit(payload: bytes) -> SubmitMessage:
         arrival_s=arrival_s if flags & HAS_ARRIVAL else None,
         model=model,
         ciphertexts=ciphertexts,
+        deadline_s=deadline_s,
     )
 
 
 def submit_from_request(request: Request, with_arrival: bool = True) -> bytes:
-    """Encode a serving-layer :class:`Request` as a ``SUBMIT`` payload."""
+    """Encode a serving-layer :class:`Request` as a ``SUBMIT`` payload.
+
+    With an arrival the request's absolute ``deadline_s`` rides along
+    verbatim, so a replayed trace rebuilds it bit-for-bit; without one the
+    deadline is rebased to a relative budget for the server to resolve.
+    """
+    if request.deadline_s is None:
+        deadline = None
+    elif with_arrival:
+        deadline = request.deadline_s
+    else:
+        deadline = max(request.deadline_s - request.arrival_s, 0.0)
     return encode_submit(
         request.request_id,
         request.tenant,
@@ -158,12 +193,18 @@ def submit_from_request(request: Request, with_arrival: bool = True) -> bytes:
         request.items,
         arrival_s=request.arrival_s if with_arrival else None,
         model=request.model,
+        deadline_s=deadline,
     )
 
 
 @dataclass(frozen=True)
 class ResultMessage:
-    """Decoded ``RESULT`` payload."""
+    """Decoded ``RESULT`` payload.
+
+    ``credits`` piggy-backs the connection's replenished credit count when
+    the server runs credit-based flow control (the in-flight window the
+    WELCOME advertised); ``None`` on the historical fixed-size payload.
+    """
 
     request_id: int
     batch_id: int
@@ -171,6 +212,7 @@ class ResultMessage:
     arrival_s: float
     dispatched_s: float
     completed_s: float
+    credits: int | None = None
 
     def to_outcome(self, request: Request) -> RequestOutcome:
         """Rebuild the outcome for the request the client submitted.
@@ -197,12 +239,24 @@ def encode_result(
     arrival_s: float,
     dispatched_s: float,
     completed_s: float,
+    credits: int | None = None,
 ) -> bytes:
-    """Encode one ``RESULT`` payload."""
-    return _RESULT.pack(request_id, batch_id, device, arrival_s, dispatched_s, completed_s)
+    """Encode one ``RESULT`` payload.
+
+    ``credits`` appends the flow-control credit replenishment; ``None``
+    keeps the historical fixed-size payload byte-identical.
+    """
+    payload = _RESULT.pack(
+        request_id, batch_id, device, arrival_s, dispatched_s, completed_s
+    )
+    if credits is not None:
+        if not 0 <= credits <= 0xFFFF:
+            raise ValueError("RESULT credits must fit a u16")
+        payload += _CREDITS.pack(credits)
+    return payload
 
 
-def result_from_outcome(outcome: RequestOutcome) -> bytes:
+def result_from_outcome(outcome: RequestOutcome, credits: int | None = None) -> bytes:
     """Encode a serving-layer :class:`RequestOutcome` as a ``RESULT`` payload."""
     return encode_result(
         outcome.request.request_id,
@@ -211,14 +265,23 @@ def result_from_outcome(outcome: RequestOutcome) -> bytes:
         outcome.request.arrival_s,
         outcome.dispatched_s,
         outcome.completed_s,
+        credits=credits,
     )
 
 
 def decode_result(payload: bytes) -> ResultMessage:
-    """Decode a ``RESULT`` payload."""
-    if len(payload) != _RESULT.size:
-        raise ValueError(f"RESULT payload must be {_RESULT.size} bytes, got {len(payload)}")
-    request_id, batch_id, device, arrival_s, dispatched_s, completed_s = _RESULT.unpack(payload)
+    """Decode a ``RESULT`` payload (with or without trailing credits)."""
+    if len(payload) not in (_RESULT.size, _RESULT.size + _CREDITS.size):
+        raise ValueError(
+            f"RESULT payload must be {_RESULT.size} bytes "
+            f"(or +{_CREDITS.size} with credits), got {len(payload)}"
+        )
+    request_id, batch_id, device, arrival_s, dispatched_s, completed_s = (
+        _RESULT.unpack_from(payload, 0)
+    )
+    credits = None
+    if len(payload) == _RESULT.size + _CREDITS.size:
+        (credits,) = _CREDITS.unpack_from(payload, _RESULT.size)
     return ResultMessage(
         request_id=request_id,
         batch_id=batch_id,
@@ -226,4 +289,5 @@ def decode_result(payload: bytes) -> ResultMessage:
         arrival_s=arrival_s,
         dispatched_s=dispatched_s,
         completed_s=completed_s,
+        credits=credits,
     )

@@ -25,7 +25,15 @@ import time
 from dataclasses import replace
 from typing import Any, Sequence
 
-from repro.net.client import AsyncNetClient
+from repro.flow.retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RequestTimeoutError,
+    RetryPolicy,
+    ServerBusyError,
+)
+from repro.net.client import AsyncNetClient, NetError
+from repro.net.protocol import ErrorCode
 from repro.net.server import NetServer
 from repro.serve.metrics import percentile
 from repro.serve.request import Request
@@ -72,14 +80,25 @@ async def replay_trace_async(
         try:
             futures = [client.submit_nowait(request) for request in ordered]
             await client.drain()
-            outcomes = await asyncio.gather(*futures)
+            # Under an admission policy some futures resolve to typed
+            # BUSY/deadline errors instead of outcomes — still one answer
+            # per submitted request, never a hang.
+            outcomes = await asyncio.gather(*futures, return_exceptions=True)
         finally:
             await client.close()
+        dropped = sum(1 for outcome in outcomes if isinstance(outcome, BaseException))
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException) and not isinstance(
+                outcome, (ServerBusyError, NetError)
+            ):
+                raise outcome
         extra = {
             "client_frames_sent": client.frames_sent,
             "client_bytes_sent": client.bytes_sent,
             "client_bytes_received": client.bytes_received,
         }
+        if dropped:
+            extra["client_dropped"] = dropped
     report = net.last_report
     assert report is not None and len(outcomes) == len(ordered)
     return _merge_wire(report, extra)
@@ -96,6 +115,10 @@ async def closed_loop_async(
     server: Server | None = None,
     label: str = "net-live",
     host: str = "127.0.0.1",
+    deadline_s: float | None = None,
+    timeout_s: float | None = None,
+    retry: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
     **server_options: Any,
 ) -> ServeReport:
     """Drive live traffic through N concurrent closed-loop connections.
@@ -104,6 +127,13 @@ async def closed_loop_async(
     times come from the closed loop itself — each connection submits its
     next request the moment the previous outcome returns, which is how real
     clients exercise an online batcher.
+
+    ``deadline_s``/``timeout_s`` apply per request; passing a ``retry``
+    policy switches each loop to :meth:`AsyncNetClient.submit_with_retry`
+    (optionally guarded by a shared ``breaker``).  Requests still failing
+    after retries — typed BUSY, deadline or timeout errors — are counted
+    as abandoned and the loop moves on, exactly how a real closed-loop
+    client behaves under overload.
     """
     if connections < 1:
         raise ValueError("a closed loop needs at least one connection")
@@ -114,19 +144,44 @@ async def closed_loop_async(
         clients = [
             await AsyncNetClient.connect(bind_host, port) for _ in range(connections)
         ]
+        abandoned = 0
         try:
             for client in clients:
                 await client.ping()
 
             async def drive(client: AsyncNetClient, slice_: list[Request]) -> int:
+                nonlocal abandoned
                 done = 0
                 for request in slice_:
-                    await client.submit(
-                        request.tenant,
-                        request.kind.value,
-                        request.items,
-                        model=request.model,
-                    )
+                    try:
+                        if retry is not None:
+                            await client.submit_with_retry(
+                                request.tenant,
+                                request.kind.value,
+                                request.items,
+                                model=request.model,
+                                deadline_s=deadline_s,
+                                timeout_s=timeout_s,
+                                retry=retry,
+                                breaker=breaker,
+                            )
+                        else:
+                            await client.submit(
+                                request.tenant,
+                                request.kind.value,
+                                request.items,
+                                model=request.model,
+                                deadline_s=deadline_s,
+                                timeout_s=timeout_s,
+                            )
+                    except (ServerBusyError, RequestTimeoutError, CircuitOpenError):
+                        abandoned += 1
+                        continue
+                    except NetError as error:
+                        if error.reply.code == ErrorCode.DEADLINE_EXCEEDED:
+                            abandoned += 1
+                            continue
+                        raise
                     done += 1
                 return done
 
@@ -146,6 +201,19 @@ async def closed_loop_async(
                 "client_bytes_sent": sum(client.bytes_sent for client in clients),
                 "client_bytes_received": sum(client.bytes_received for client in clients),
             }
+            # Overload counters join the wire block only once they fire, so
+            # unsaturated runs keep their historical shape.
+            retries = sum(client.retries for client in clients)
+            busy = sum(client.busy_replies for client in clients)
+            stalls = sum(client.credit_stalls for client in clients)
+            if retries:
+                extra["client_retries"] = retries
+            if busy:
+                extra["client_busy_replies"] = busy
+            if stalls:
+                extra["client_credit_stalls"] = stalls
+            if abandoned:
+                extra["client_abandoned"] = abandoned
         finally:
             for client in clients:
                 await client.close()

@@ -39,6 +39,11 @@ Message types
   ``{name: value}`` snapshot of
   :meth:`repro.serve.Server.metrics` as canonical JSON (sorted keys,
   compact separators), byte-reproducible for identical counter states.
+* ``BUSY`` — the overload reply: the server is past capacity (admission
+  rejected the submission, or the connection exhausted its credit
+  window) and will not queue the request; carries the refused request id,
+  a deterministic retry-after hint and a human-readable reason.  A BUSY
+  is frame-local — the connection keeps serving.
 """
 
 from __future__ import annotations
@@ -82,6 +87,7 @@ class MessageType(enum.IntEnum):
     DRAINED = 9
     STATS = 10
     STATS_REPLY = 11
+    BUSY = 12
 
 
 class ErrorCode(enum.IntEnum):
@@ -95,6 +101,7 @@ class ErrorCode(enum.IntEnum):
     BAD_MESSAGE = 6
     FRAME_TOO_LARGE = 7
     SERVER_ERROR = 8
+    DEADLINE_EXCEEDED = 9
 
 
 class ProtocolError(Exception):
@@ -299,16 +306,47 @@ def decode_hello(payload: bytes) -> tuple[int, ...]:
     return tuple(payload[1 : 1 + count])
 
 
-def encode_welcome(version: int = PROTOCOL_VERSION) -> bytes:
-    """WELCOME payload: the version the server picked."""
-    return struct.pack("!B", version)
+@dataclass(frozen=True)
+class Welcome:
+    """Decoded ``WELCOME`` payload.
+
+    ``credit_window`` is the per-connection in-flight request window the
+    server grants (credit-based flow control), or ``None`` when the server
+    does not limit in-flight work — the historical one-byte WELCOME.
+    """
+
+    version: int
+    credit_window: int | None = None
 
 
-def decode_welcome(payload: bytes) -> int:
-    """The version a WELCOME payload confirms."""
-    if len(payload) != 1:
-        raise ValueError("WELCOME payload must be exactly one version byte")
-    return payload[0]
+def encode_welcome(
+    version: int = PROTOCOL_VERSION, credit_window: int | None = None
+) -> bytes:
+    """WELCOME payload: the version the server picked, plus the optional
+    per-connection credit window.
+
+    Without a window the payload stays the historical single version byte
+    — byte-identical frames for servers that do not flow-control.
+    """
+    if credit_window is None:
+        return struct.pack("!B", version)
+    if not 1 <= credit_window <= 0xFFFF:
+        raise ValueError("credit window must be in [1, 65535]")
+    return struct.pack("!BH", version, credit_window)
+
+
+def decode_welcome(payload: bytes) -> Welcome:
+    """Decode a ``WELCOME`` payload (with or without a credit window)."""
+    if len(payload) == 1:
+        return Welcome(version=payload[0])
+    if len(payload) == 3:
+        version, credit_window = struct.unpack("!BH", payload)
+        if credit_window == 0:
+            raise ValueError("WELCOME credit window cannot be zero")
+        return Welcome(version=version, credit_window=credit_window)
+    raise ValueError(
+        "WELCOME payload must be one version byte or version + u16 credit window"
+    )
 
 
 def negotiate_version(
@@ -351,6 +389,46 @@ def decode_error(payload: bytes) -> ErrorReply:
     code, request_id = struct.unpack_from("!HQ", payload, 0)
     message, _offset = unpack_str(payload, 10)
     return ErrorReply(code=code, request_id=request_id, message=message)
+
+
+# -- BUSY -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BusyReply:
+    """Decoded ``BUSY`` payload: the server refused to queue a request.
+
+    ``retry_after_s`` is the server's deterministic backoff hint — a pure
+    function of its queue state, so a replayed overload run produces
+    bit-for-bit identical hints.
+    """
+
+    request_id: int
+    retry_after_s: float
+    reason: str
+
+
+_BUSY = struct.Struct("!Qd")
+
+
+def encode_busy(request_id: int, retry_after_s: float, reason: str) -> bytes:
+    """BUSY payload: refused request id, retry-after hint, reason text."""
+    if retry_after_s < 0:
+        raise ValueError("retry-after hint cannot be negative")
+    return _BUSY.pack(request_id, retry_after_s) + pack_str(reason)
+
+
+def decode_busy(payload: bytes) -> BusyReply:
+    """Decode a ``BUSY`` payload."""
+    if len(payload) < _BUSY.size:
+        raise ValueError("BUSY payload is truncated before its fixed fields end")
+    request_id, retry_after_s = _BUSY.unpack_from(payload, 0)
+    reason, offset = unpack_str(payload, _BUSY.size)
+    if offset != len(payload):
+        raise ValueError(f"BUSY payload has {len(payload) - offset} trailing bytes")
+    return BusyReply(
+        request_id=request_id, retry_after_s=retry_after_s, reason=reason
+    )
 
 
 # -- PING / PONG ------------------------------------------------------------------

@@ -31,8 +31,10 @@ import asyncio
 from dataclasses import dataclass, replace
 from typing import Any
 
+from repro.flow.control import DeadlineExceededError, RequestRejectedError
 from repro.net import codec, protocol
 from repro.net.protocol import ErrorCode, Frame, FrameDecoder, MessageType, ProtocolError
+from repro.serve.request import Request
 from repro.serve.server import ServeReport, Server
 
 #: Bytes per read of the per-connection read loop.
@@ -49,10 +51,15 @@ class WireStats:
     bytes_received: int = 0
     bytes_sent: int = 0
     errors_sent: int = 0
+    busy_sent: int = 0
 
     def to_dict(self) -> dict[str, int]:
-        """JSON-friendly snapshot (merged into :attr:`ServeReport.wire`)."""
-        return {
+        """JSON-friendly snapshot (merged into :attr:`ServeReport.wire`).
+
+        ``busy_sent`` only appears once a BUSY reply has actually gone out,
+        so overload-free runs keep their historical wire dict unchanged.
+        """
+        snapshot = {
             "connections": self.connections,
             "frames_received": self.frames_received,
             "frames_sent": self.frames_sent,
@@ -60,16 +67,22 @@ class WireStats:
             "bytes_sent": self.bytes_sent,
             "errors_sent": self.errors_sent,
         }
+        if self.busy_sent:
+            snapshot["busy_sent"] = self.busy_sent
+        return snapshot
 
 
 class _Connection:
-    """Per-connection state: decoder, write lock, liveness."""
+    """Per-connection state: decoder, write lock, liveness, credits."""
 
     def __init__(self, writer: asyncio.StreamWriter):
         self.writer = writer
         self.decoder = FrameDecoder()
         self.lock = asyncio.Lock()
         self.closing = False
+        #: Live-mode submissions accepted but not yet answered (credit-based
+        #: flow control counts replies out against the WELCOME's window).
+        self.inflight = 0
 
 
 class NetServer:
@@ -95,14 +108,21 @@ class NetServer:
         host: str = "127.0.0.1",
         port: int = 0,
         label: str | None = None,
+        credit_window: int | None = None,
         **server_options: Any,
     ):
         if mode not in ("live", "replay"):
             raise ValueError(f"unknown NetServer mode {mode!r}; choose 'live' or 'replay'")
         if server is not None and server_options:
             raise ValueError("pass either a Server instance or ServeConfig overrides, not both")
+        if credit_window is not None and not 1 <= credit_window <= 0xFFFF:
+            raise ValueError("credit window must be in [1, 65535]")
         self.server = server if server is not None else Server(**server_options)
         self.mode = mode
+        #: Per-connection in-flight window advertised in WELCOME; enforced
+        #: on the live path (a SUBMIT past it earns an immediate BUSY).
+        #: ``None`` keeps the historical one-byte WELCOME and no limit.
+        self.credit_window = credit_window
         self.label = label if label is not None else f"net-{mode}"
         self._host = host
         self._port = port
@@ -113,6 +133,11 @@ class NetServer:
         self._epoch = 0.0
         self._entered_live = False
         self._replay_open = False
+        #: Shed/expired requests the serving core dropped during the replay
+        #: offer being processed — collected by the server's ``drop_hook``
+        #: (a synchronous callback) and flushed as BUSY frames right after,
+        #: so a client awaiting a dropped request gets an answer, not a hang.
+        self._replay_drops: list[tuple[Request, str]] = []
         self.stats = WireStats()
         #: Serving report of the last completed serve (set by :meth:`aclose`).
         self.last_report: ServeReport | None = None
@@ -148,6 +173,7 @@ class NetServer:
         else:
             self.server.replay_begin()
             self._replay_open = True
+            self.server.drop_hook = self._on_replay_drop
         self._listener = await asyncio.start_server(self._on_connection, self._host, self._port)
         return self.address
 
@@ -180,6 +206,7 @@ class NetServer:
                 self.last_report = replace(base, label=self.label, wire=wire)
         if self._replay_open:
             self._replay_open = False
+            self.server.drop_hook = None
             self.last_report = self.server.replay_finish(
                 label=self.label, wire=self.stats.to_dict()
             )
@@ -284,7 +311,11 @@ class NetServer:
                 ),
             )
             return
-        await self._send(connection, MessageType.WELCOME, protocol.encode_welcome(version))
+        await self._send(
+            connection,
+            MessageType.WELCOME,
+            protocol.encode_welcome(version, credit_window=self.credit_window),
+        )
 
     async def _handle_ping(self, connection: _Connection, frame: Frame) -> None:
         nonce, client_s = protocol.decode_ping(frame.payload)
@@ -302,9 +333,34 @@ class NetServer:
         if self.mode == "replay":
             if message.arrival_s is None:
                 raise ValueError("replay-mode SUBMIT frames must carry a trace timestamp")
-            for outcome in self.server.replay_offer(message.to_request()):
+            try:
+                outcomes = self.server.replay_offer(message.to_request())
+            except RequestRejectedError as rejected:
+                await self._send_busy(
+                    connection, message.request_id, rejected.retry_after_s, str(rejected)
+                )
+                outcomes = []
+            for outcome in outcomes:
                 await self._send_result(connection, outcome.request.request_id, outcome)
+            await self._flush_replay_drops(connection)
         else:
+            if (
+                self.credit_window is not None
+                and connection.inflight >= self.credit_window
+            ):
+                # The connection spent its whole advertised window; answer
+                # immediately with a deterministic retry hint instead of
+                # queueing past capacity.
+                await self._send_busy(
+                    connection,
+                    message.request_id,
+                    self.server.flow.retry_after_s(
+                        self.server.queue, self.server.config.max_batch_delay_s
+                    ),
+                    f"in-flight window of {self.credit_window} is exhausted",
+                )
+                return
+            connection.inflight += 1
             task = asyncio.get_running_loop().create_task(self._submit_live(connection, message))
             self._submit_tasks.add(task)
             task.add_done_callback(self._submit_tasks.discard)
@@ -312,21 +368,47 @@ class NetServer:
     async def _submit_live(self, connection: _Connection, message: codec.SubmitMessage) -> None:
         try:
             outcome = await self.server.submit_async(
-                message.tenant, message.kind, message.items, model=message.model
+                message.tenant,
+                message.kind,
+                message.items,
+                model=message.model,
+                deadline_s=message.deadline_s,
             )
+        except RequestRejectedError as rejected:
+            connection.inflight -= 1
+            await self._send_busy(
+                connection, message.request_id, rejected.retry_after_s, str(rejected)
+            )
+            return
+        except DeadlineExceededError as expired:
+            connection.inflight -= 1
+            await self._send_error(
+                connection,
+                ProtocolError(ErrorCode.DEADLINE_EXCEEDED, str(expired)),
+                request_id=message.request_id,
+            )
+            return
         except Exception as error:  # noqa: BLE001 - surfaced as a typed reply
+            connection.inflight -= 1
             await self._send_error(
                 connection,
                 ProtocolError(ErrorCode.SERVER_ERROR, str(error)),
                 request_id=message.request_id,
             )
             return
-        await self._send_result(connection, message.request_id, outcome)
+        # Decrement before computing the piggy-backed credit count so the
+        # RESULT advertises the capacity this very reply just freed.
+        connection.inflight -= 1
+        credits = None
+        if self.credit_window is not None:
+            credits = max(self.credit_window - connection.inflight, 0)
+        await self._send_result(connection, message.request_id, outcome, credits=credits)
 
     async def _handle_drain(self, connection: _Connection) -> None:
         if self.mode == "replay":
             for outcome in self.server.replay_drain():
                 await self._send_result(connection, outcome.request.request_id, outcome)
+            await self._flush_replay_drops(connection)
         await self._send(connection, MessageType.DRAINED, b"")
 
     async def _handle_stats(self, connection: _Connection) -> None:
@@ -344,7 +426,64 @@ class NetServer:
 
     # -- replies -----------------------------------------------------------------
 
-    async def _send_result(self, connection: _Connection, request_id: int, outcome) -> None:
+    def _on_replay_drop(self, request: Request, reason: str) -> None:
+        """Collect a shed/expired replay request for a typed reply.
+
+        The serving core drops synchronously inside ``replay_offer`` /
+        ``replay_drain``; the frames go out right after, once the event
+        loop is back in the handler's async context.
+        """
+        self._replay_drops.append((request, reason))
+
+    async def _flush_replay_drops(self, connection: _Connection) -> None:
+        """Answer every request the replay step just shed or expired.
+
+        Shed work earns a BUSY (with the controller's retry hint); expired
+        work earns a typed DEADLINE_EXCEEDED error — the same split the
+        live path's :meth:`_submit_live` produces, so a client sees one
+        vocabulary across both modes and never hangs on dropped work.
+        """
+        if not self._replay_drops:
+            return
+        drops, self._replay_drops = self._replay_drops, []
+        for request, reason in drops:
+            if reason == "expired":
+                await self._send_error(
+                    connection,
+                    ProtocolError(
+                        ErrorCode.DEADLINE_EXCEEDED,
+                        f"request {request.request_id} missed its deadline before dispatch",
+                    ),
+                    request_id=request.request_id,
+                )
+            else:
+                await self._send_busy(
+                    connection,
+                    request.request_id,
+                    self.server.flow.retry_after_s(
+                        self.server.queue, self.server.config.max_batch_delay_s
+                    ),
+                    f"request {request.request_id} was {reason} to admit newer work",
+                )
+
+    async def _send_busy(
+        self, connection: _Connection, request_id: int, retry_after_s: float, reason: str
+    ) -> None:
+        self.stats.busy_sent += 1
+        self.server.flow.note_busy_reply()
+        await self._send(
+            connection,
+            MessageType.BUSY,
+            protocol.encode_busy(request_id, retry_after_s, reason),
+        )
+
+    async def _send_result(
+        self,
+        connection: _Connection,
+        request_id: int,
+        outcome,
+        credits: int | None = None,
+    ) -> None:
         payload = codec.encode_result(
             request_id,
             outcome.batch_id,
@@ -352,6 +491,7 @@ class NetServer:
             outcome.request.arrival_s,
             outcome.dispatched_s,
             outcome.completed_s,
+            credits=credits,
         )
         await self._send(connection, MessageType.RESULT, payload)
         tracer = self.server.tracer

@@ -35,6 +35,11 @@ from many tenants.  This package is the layer in between::
   throttles and interconnect partitions; the report grows an
   ``availability`` block and ``on_death="retry"|"drop"`` picks what
   happens to batches whose device dies under them;
+* overload protection — pass ``admission="shed-oldest"`` (or
+  ``"reject-newest"`` / ``"tenant-quota"``) with ``queue_capacity`` /
+  ``tenant_capacity`` (see :mod:`repro.flow`) to shed or reject work a
+  saturated server cannot finish; requests take an optional per-request
+  ``deadline_s`` budget and the report grows an ``overload`` block;
 * the ``"strix-cluster"`` runtime backend, so ``run(workload,
   backend="strix-cluster", devices=4, layout="pipeline")`` works from the
   PR 1 facade.
@@ -66,6 +71,16 @@ from repro.sched import (
     list_layouts,
 )
 from repro.faults import FaultEvent, FaultKind, FaultSchedule, RequestLostError
+# Imported from the submodules (not the repro.flow package) so that
+# ``import repro.flow`` as the *first* repro import works: flow's package
+# __init__ pulls QueueOverflowError from repro.serve.queue, which runs this
+# module while repro.flow is still only partially bound.
+from repro.flow.admission import (
+    AdmissionPolicy,
+    get_admission_policy,
+    list_admission_policies,
+)
+from repro.flow.control import DeadlineExceededError, RequestRejectedError
 from repro.serve.backend import StrixClusterBackend
 from repro.serve.batcher import AdaptiveBatcher, Batch
 from repro.serve.cluster import (
@@ -81,7 +96,7 @@ from repro.serve.metrics import (
     ServeSnapshot,
     percentile,
 )
-from repro.serve.queue import RequestQueue
+from repro.serve.queue import QueueOverflowError, RequestQueue
 from repro.serve.request import Request, RequestKind, RequestOutcome, pbs_per_item
 from repro.serve.server import Server, ServeConfig, ServeReport, TenantState
 from repro.serve.sharding import (
@@ -96,12 +111,14 @@ from repro.serve.sharding import (
 
 __all__ = [
     "AdaptiveBatcher",
+    "AdmissionPolicy",
     "AffinityPolicy",
     "AnalyticalCostModel",
     "Batch",
     "CLUSTER_BACKEND_NAME",
     "CostModel",
     "DataParallelLayout",
+    "DeadlineExceededError",
     "DeviceShardResult",
     "Dispatch",
     "ElasticLayout",
@@ -115,11 +132,13 @@ __all__ = [
     "MetricsCollector",
     "PipelineLayout",
     "PlacementLayout",
+    "QueueOverflowError",
     "Request",
     "RequestKind",
     "RequestLostError",
     "RequestOutcome",
     "RequestQueue",
+    "RequestRejectedError",
     "RoundRobinPolicy",
     "ServeConfig",
     "ServeMetrics",
@@ -131,9 +150,11 @@ __all__ = [
     "StrixClusterBackend",
     "StrixDevice",
     "TenantState",
+    "get_admission_policy",
     "get_cost_model",
     "get_layout",
     "get_policy",
+    "list_admission_policies",
     "list_cost_models",
     "list_layouts",
     "list_policies",

@@ -32,7 +32,7 @@ completion tracking without saving any cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.serve.queue import RequestQueue
 from repro.serve.request import Request
@@ -99,6 +99,7 @@ class AdaptiveBatcher:
         qos: str = "fifo",
         tenant_weights: dict[str, float] | None = None,
         observer: "Tracer | None" = None,
+        on_expired: Callable[[Request], None] | None = None,
     ):
         if capacity_items < 1:
             raise ValueError("batch capacity must be at least one item")
@@ -117,6 +118,10 @@ class AdaptiveBatcher:
         self.tenant_weights = weights
         #: Tracer notified on every flushed batch (``None`` = tracing off).
         self.observer = observer
+        #: Called with each request dropped as past its deadline (the flow
+        #: controller counts them; ``None`` = drops are silent, but without
+        #: deadlines on requests nothing is ever dropped).
+        self.on_expired = on_expired
         self.batches_flushed = 0
         self.flush_reasons: dict[str, int] = {}
         # Weighted-fair-queuing state: per-tenant virtual finish tags and the
@@ -146,17 +151,23 @@ class AdaptiveBatcher:
         """
         batches: list[Batch] = []
         while queue.queued_items >= self.capacity_items:
-            batches.append(self._take(queue, now, "full"))
+            batch = self._take(queue, now, "full")
+            if batch is not None:
+                batches.append(batch)
         deadline = self.next_deadline(queue)
         if deadline is not None and now >= deadline:
-            batches.append(self._take(queue, now, "deadline"))
+            batch = self._take(queue, now, "deadline")
+            if batch is not None:
+                batches.append(batch)
         return batches
 
     def drain(self, queue: RequestQueue, now: float) -> list[Batch]:
         """Flush everything still queued (end of a simulation / shutdown)."""
         batches: list[Batch] = []
         while queue:
-            batches.append(self._take(queue, now, "drain"))
+            batch = self._take(queue, now, "drain")
+            if batch is not None:
+                batches.append(batch)
         return batches
 
     # -- internals ----------------------------------------------------------------
@@ -234,8 +245,15 @@ class AdaptiveBatcher:
             self._virtual_finish[tenant] = start + request.items / self._weight(tenant)
         return request
 
-    def _take(self, queue: RequestQueue, now: float, reason: str) -> Batch:
-        """Pop requests for one batch: fill up to capacity, never split one."""
+    def _take(self, queue: RequestQueue, now: float, reason: str) -> Batch | None:
+        """Pop requests for one batch: fill up to capacity, never split one.
+
+        Requests already past their deadline are popped and reported to
+        ``on_expired`` instead of batched — executing them would waste
+        device epochs on results nobody will read.  Returns ``None`` when
+        every candidate had expired (the pops still made progress, so
+        callers just skip the batch).
+        """
         taken: list[Request] = []
         in_batch: dict[str, int] = {}
         caps = self._tenant_caps(queue) if self.qos == "fair" else {}
@@ -246,6 +264,13 @@ class AdaptiveBatcher:
                 break
             head = queue.oldest_for_tenant(tenant)
             assert head is not None
+            if head.expired(now):
+                # Plain pop, not _pop_from: expired work ships nothing, so
+                # it must not advance the tenant's virtual finish tag.
+                queue.pop_for_tenant(tenant)
+                if self.on_expired is not None:
+                    self.on_expired(head)
+                continue
             if taken and items + head.items > self.capacity_items:
                 break
             taken.append(self._pop_from(queue, tenant))
@@ -253,6 +278,8 @@ class AdaptiveBatcher:
             items += head.items
             if items >= self.capacity_items:
                 break
+        if not taken:
+            return None
         batch = Batch(
             batch_id=self.batches_flushed,
             requests=tuple(taken),

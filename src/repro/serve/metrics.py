@@ -119,6 +119,12 @@ class ServeMetrics:
     #: :meth:`to_dict` — when the run had no fault impact, which keeps
     #: fault-free reports byte-identical to their pre-fault-subsystem form.
     availability: dict[str, Any] = field(default_factory=dict)
+    #: Overload-protection ledger (admitted / rejected / shed / expired,
+    #: per tenant, plus BUSY replies) from the server's
+    #: :class:`~repro.flow.FlowController`; empty — and absent from
+    #: :meth:`to_dict` — when no overload event occurred, which keeps
+    #: unsaturated reports byte-identical to their pre-flow-subsystem form.
+    overload: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable snapshot (what ``BENCH_serve.json`` records)."""
@@ -146,6 +152,8 @@ class ServeMetrics:
         }
         if self.availability:
             snapshot["availability"] = dict(self.availability)
+        if self.overload:
+            snapshot["overload"] = dict(self.overload)
         return snapshot
 
     def render(self) -> str:
@@ -209,6 +217,14 @@ class ServeMetrics:
                 f"{faults.get('requests_retried', 0)} retried, "
                 f"{faults.get('degraded_s', 0.0) * 1e3:.1f} ms degraded, "
                 f"{faults.get('key_reship_bytes', 0):,} key bytes re-shipped"
+            )
+        if self.overload:
+            shed = self.overload
+            lines.append(
+                f"overload: {shed.get('admitted', 0)} admitted, "
+                f"{shed.get('rejected', 0)} rejected, "
+                f"{shed.get('shed', 0)} shed, "
+                f"{shed.get('expired', 0)} expired"
             )
         return "\n".join(lines)
 
@@ -304,13 +320,15 @@ class MetricsCollector:
         stage_plan_cache: dict[str, int] | None = None,
         cost_cache: dict[str, int] | None = None,
         availability: dict[str, Any] | None = None,
+        overload: dict[str, Any] | None = None,
     ) -> ServeMetrics:
         """Fold the observations into one :class:`ServeMetrics`.
 
         ``key_cache`` / ``stage_plan_cache`` / ``cost_cache`` /
-        ``availability`` are end-of-run counter snapshots (read from the
-        cluster's residency manager, the layout, the cost model and the
-        fault injector) rather than accumulated per-batch observations.
+        ``availability`` / ``overload`` are end-of-run counter snapshots
+        (read from the cluster's residency manager, the layout, the cost
+        model, the fault injector and the flow controller) rather than
+        accumulated per-batch observations.
         """
         latencies = [outcome.latency_s for outcome in self.outcomes]
         delays = [outcome.queue_delay_s for outcome in self.outcomes]
@@ -350,4 +368,5 @@ class MetricsCollector:
             stage_plan_cache=dict(stage_plan_cache or {}),
             cost_cache=dict(cost_cache or {}),
             availability=dict(availability or {}),
+            overload=dict(overload or {}),
         )

@@ -25,12 +25,43 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.obs.trace import Tracer
 
 
-class RequestQueue:
-    """Arrival-ordered queue of pending :class:`Request` objects."""
+class QueueOverflowError(RuntimeError):
+    """A bounded :class:`RequestQueue` overflowed.
 
-    def __init__(self, observer: "Tracer | None" = None) -> None:
+    Raised on :meth:`RequestQueue.push` past ``capacity`` — the loud
+    replacement for silent unbounded growth.  With admission control
+    installed (``Server(admission=...)``) the admission policy keeps the
+    queue under its bound *before* pushing, so this error only fires when
+    a capacity is configured with admission disabled.
+    """
+
+    def __init__(self, capacity: int, tenant: str):
+        super().__init__(
+            f"request queue is full ({capacity} requests; arriving tenant "
+            f"{tenant!r}); configure an admission policy to shed or reject "
+            "instead of overflowing"
+        )
+        self.capacity = capacity
+        self.tenant = tenant
+
+
+class RequestQueue:
+    """Arrival-ordered queue of pending :class:`Request` objects.
+
+    ``capacity`` bounds the number of waiting requests: ``None`` (the
+    default) keeps the historical unbounded behaviour; a bound makes
+    :meth:`push` raise :class:`QueueOverflowError` when full.
+    """
+
+    def __init__(
+        self, observer: "Tracer | None" = None, capacity: int | None = None
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("queue capacity must be at least one request")
         #: Tracer notified on every push (``None`` = tracing off).
         self.observer = observer
+        #: Maximum waiting requests (``None`` = unbounded).
+        self.capacity = capacity
         #: Per-tenant FIFO of ``(sequence, request)``; arrival order across
         #: tenants is recovered by comparing head sequence numbers.
         self._by_tenant: dict[str, deque[tuple[int, Request]]] = {}
@@ -111,7 +142,13 @@ class RequestQueue:
     # -- mutation ---------------------------------------------------------------
 
     def push(self, request: Request) -> None:
-        """Enqueue a request (arrival order within and across tenants)."""
+        """Enqueue a request (arrival order within and across tenants).
+
+        Raises :class:`QueueOverflowError` when a ``capacity`` is set and
+        already reached.
+        """
+        if self.capacity is not None and self._depth >= self.capacity:
+            raise QueueOverflowError(self.capacity, request.tenant)
         self._by_tenant.setdefault(request.tenant, deque()).append(
             (self._sequence, request)
         )

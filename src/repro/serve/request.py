@@ -74,6 +74,10 @@ class Request:
         Submission time on the serving clock.
     model:
         Deep-NN model name for ``INFERENCE`` requests, ``None`` otherwise.
+    deadline_s:
+        Absolute serving-clock time after which the result is worthless to
+        the client, or ``None`` (no deadline).  The batcher drops expired
+        requests at batch-assembly time — counted, never executed.
     """
 
     request_id: int
@@ -83,6 +87,7 @@ class Request:
     pbs_per_item: int
     arrival_s: float
     model: str | None = None
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.items < 1:
@@ -95,6 +100,10 @@ class Request:
         """Bootstraps the whole request costs."""
         return self.items * self.pbs_per_item
 
+    def expired(self, now_s: float) -> bool:
+        """Whether the request's deadline has passed at ``now_s``."""
+        return self.deadline_s is not None and now_s > self.deadline_s
+
     @classmethod
     def make(
         cls,
@@ -104,6 +113,7 @@ class Request:
         items: int = 1,
         arrival_s: float = 0.0,
         model: str | None = None,
+        deadline_s: float | None = None,
     ) -> "Request":
         """Build a request, resolving the PBS cost of its kind."""
         resolved = RequestKind(kind) if isinstance(kind, str) else kind
@@ -115,6 +125,7 @@ class Request:
             pbs_per_item=pbs_per_item(resolved, model),
             arrival_s=arrival_s,
             model=model,
+            deadline_s=deadline_s,
         )
 
 

@@ -25,11 +25,17 @@ from __future__ import annotations
 import asyncio
 import zlib
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.arch.config import StrixClusterConfig
 from repro.arch.key_cache import KeyEvictionPolicy
 from repro.faults import FaultSchedule, RequestLostError
+from repro.flow.admission import AdmissionPolicy
+from repro.flow.control import (
+    DeadlineExceededError,
+    FlowController,
+    RequestRejectedError,
+)
 from repro.fft.registry import register_transform_cache_view
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
@@ -122,6 +128,23 @@ class ServeConfig:
         (default) replays it on the surviving devices, ``"drop"`` loses it
         — its requests produce no outcomes and async submitters awaiting
         them raise :class:`~repro.faults.RequestLostError`.
+    admission:
+        Overload admission policy name (``"reject-newest"`` /
+        ``"shed-oldest"`` / ``"tenant-quota"``) or
+        :class:`~repro.flow.AdmissionPolicy` instance, applied per arrival
+        at serving time (``simulate`` / ``replay_offer`` /
+        ``submit_async``) against ``queue_capacity`` / ``tenant_capacity``.
+        ``None`` (default) admits everything and stays byte-identical to
+        the pre-flow-subsystem behaviour.  See ``docs/overload.md``.
+    queue_capacity:
+        Bound on total waiting requests.  With ``admission`` set the
+        policy keeps the queue under it (rejecting or shedding); without,
+        the queue itself raises a loud
+        :class:`~repro.serve.queue.QueueOverflowError` past it.  ``None``
+        (default) is unbounded.
+    tenant_capacity:
+        Bound on one tenant's waiting requests, enforced by the admission
+        policy (ignored when ``admission`` is ``None``).
     """
 
     params: TFHEParameters | str = "I"
@@ -140,6 +163,9 @@ class ServeConfig:
     cluster: StrixClusterConfig | None = None
     faults: FaultSchedule | None = None
     on_death: str = "retry"
+    admission: "str | AdmissionPolicy | None" = None
+    queue_capacity: int | None = None
+    tenant_capacity: int | None = None
 
 
 @dataclass
@@ -246,6 +272,18 @@ class Server:
         )
         #: Request tracer (``None`` until :meth:`enable_tracing`).
         self.tracer: Tracer | None = None
+        #: Overload protection (inert with the default config — no policy,
+        #: no capacities — so unsaturated output stays byte-identical).
+        self.flow = FlowController(
+            policy=config.admission,
+            queue_capacity=config.queue_capacity,
+            tenant_capacity=config.tenant_capacity,
+        )
+        #: Called with ``(request, "shed" | "expired")`` for every admitted
+        #: request later dropped without an outcome — the
+        #: :class:`~repro.net.NetServer` hooks this to send a reply for
+        #: work that will never produce a RESULT frame.
+        self.drop_hook: Callable[[Request, str], None] | None = None
         #: Always-on unified metrics registry (see :mod:`repro.obs`):
         #: serving counters/histograms fed by :meth:`_dispatch` plus live
         #: views over the subsystems' historical counter dicts — which stay
@@ -316,6 +354,12 @@ class Server:
             "serve_faults", lambda: self.cluster.faults.stats_view(),
             "Fault-injection schedule and impact counters",
         )
+        # Likewise empty until an overload event is counted, so STATS
+        # output is unchanged for servers that never saturate.
+        self.registry.register_view(
+            "serve_overload", lambda: self.flow.stats_view(),
+            "Overload-protection admission and shedding counters",
+        )
         # Process-wide, not per-server: the negacyclic transform cache is
         # shared by every scalar and vectorized kernel in the process.
         register_transform_cache_view(self.registry)
@@ -340,8 +384,17 @@ class Server:
         self._replay_last_arrival = 0.0
 
     def _make_queue(self) -> RequestQueue:
-        """A fresh queue carrying the installed tracer (if any)."""
-        return RequestQueue(observer=self.tracer)
+        """A fresh queue carrying the installed tracer (if any).
+
+        The hard ``capacity`` bound only applies when admission control is
+        disabled: with a policy installed, admission keeps the queue under
+        the configured capacity *before* pushing, so an overflow there
+        would be a flow-controller bug, not an operator signal.
+        """
+        return RequestQueue(
+            observer=self.tracer,
+            capacity=None if self.flow.enabled else self.config.queue_capacity,
+        )
 
     def _make_batcher(self) -> AdaptiveBatcher:
         """A fresh batcher honouring the configured QoS discipline."""
@@ -351,6 +404,46 @@ class Server:
             qos=self.config.qos,
             tenant_weights=self.config.tenant_weights,
             observer=self.tracer,
+            on_expired=self._note_expired,
+        )
+
+    def _note_expired(self, request: Request) -> None:
+        """The batcher dropped ``request`` as past its deadline: count it,
+        fail its awaiting future (async path) and tell the wire hook."""
+        self.flow.note_expired(request)
+        future = self._async_futures.pop(request.request_id, None)
+        if future is not None and not future.done():
+            future.set_exception(
+                DeadlineExceededError(
+                    f"request {request.request_id} (tenant {request.tenant!r}) "
+                    f"expired before batching (deadline {request.deadline_s})"
+                )
+            )
+        if self.drop_hook is not None:
+            self.drop_hook(request, "expired")
+
+    def _drop_shed(self, victims: list[Request]) -> None:
+        """Fan the shed verdict out to each victim's awaiters and the wire."""
+        for request in victims:
+            future = self._async_futures.pop(request.request_id, None)
+            if future is not None and not future.done():
+                future.set_exception(
+                    RequestRejectedError(
+                        f"request {request.request_id} (tenant "
+                        f"{request.tenant!r}) was shed to admit newer work"
+                    )
+                )
+            if self.drop_hook is not None:
+                self.drop_hook(request, "shed")
+
+    def _reject(self, request: Request, reason: str) -> RequestRejectedError:
+        """The typed rejection for ``request``, carrying the retry hint."""
+        return RequestRejectedError(
+            f"request {request.request_id} (tenant {request.tenant!r}) "
+            f"rejected: {reason}",
+            retry_after_s=self.flow.retry_after_s(
+                self.queue, self.config.max_batch_delay_s
+            ),
         )
 
     # -- observability ------------------------------------------------------------
@@ -508,8 +601,17 @@ class Server:
         items: int = 1,
         model: str | None = None,
         at: float | None = None,
+        deadline_s: float | None = None,
     ) -> Request:
-        """Enqueue one request at time ``at`` (defaults to the serving clock)."""
+        """Enqueue one request at time ``at`` (defaults to the serving clock).
+
+        ``deadline_s`` is a *relative* latency budget: the request expires
+        ``deadline_s`` after its arrival and the batcher drops it unserved
+        past that.  Sync submission only *stages* work for
+        :meth:`simulate` — admission-policy decisions happen at serving
+        time inside the simulation's arrival loop, exactly as they do for
+        :meth:`replay_offer` and :meth:`submit_async`.
+        """
         if self._async_metrics is not None:
             raise RuntimeError(
                 "sync submit() cannot run inside an active async context; "
@@ -523,7 +625,13 @@ class Server:
         arrival = self._clock if at is None else at
         self._clock = max(self._clock, arrival)
         request = Request.make(
-            self._next_request_id(), tenant, kind, items, arrival_s=arrival, model=model
+            self._next_request_id(),
+            tenant,
+            kind,
+            items,
+            arrival_s=arrival,
+            model=model,
+            deadline_s=None if deadline_s is None else arrival + deadline_s,
         )
         self.queue.push(request)
         return request
@@ -579,6 +687,7 @@ class Server:
 
         self.cluster.reset_serving_state()
         self.batcher = self._make_batcher()
+        self.flow.reset()
         metrics = MetricsCollector(self.batch_capacity)
         last_completion = 0.0
         last_arrival = pending[-1].arrival_s if pending else 0.0
@@ -587,8 +696,12 @@ class Server:
             last_completion = max(
                 last_completion, self._fire_deadlines(request.arrival_s, metrics)
             )
-            self.queue.push(request)
             self._clock = max(self._clock, request.arrival_s)
+            admitted, victims, _reason = self.flow.try_admit(self.queue, request)
+            if not admitted:
+                continue
+            self._drop_shed(victims)
+            self.queue.push(request)
             for batch in self.batcher.poll(self.queue, request.arrival_s):
                 last_completion = max(
                     last_completion, self._dispatch(batch, metrics)
@@ -605,6 +718,7 @@ class Server:
             stage_plan_cache=self.cluster.layout.plan_cache_stats,
             cost_cache=self.cluster.cost_cache_stats,
             availability=self.cluster.faults.availability(horizon),
+            overload=self.flow.overload(),
         )
         return ServeReport(
             label=label,
@@ -688,6 +802,7 @@ class Server:
         self.cluster.reset_serving_state()
         self.queue = self._make_queue()
         self.batcher = self._make_batcher()
+        self.flow.reset()
         self._replay_metrics = MetricsCollector(self.batch_capacity)
         self._replay_emitted = 0
         self._replay_last_completion = 0.0
@@ -711,15 +826,25 @@ class Server:
         deadline flushes due before this arrival plus any capacity flushes
         it triggered — possibly none, when the request merely joins a
         batch still filling.
+
+        With admission control installed a rejected offer raises
+        :class:`~repro.flow.RequestRejectedError` (after counting it and
+        advancing the replay clock — the request *arrived*, it just was
+        not served), exactly mirroring the decision :meth:`simulate` makes
+        for the same trace position.
         """
         metrics = self._require_replay()
         self._replay_last_completion = max(
             self._replay_last_completion,
             self._fire_deadlines(request.arrival_s, metrics),
         )
-        self.queue.push(request)
         self._clock = max(self._clock, request.arrival_s)
         self._replay_last_arrival = max(self._replay_last_arrival, request.arrival_s)
+        admitted, victims, reason = self.flow.try_admit(self.queue, request)
+        if not admitted:
+            raise self._reject(request, reason)
+        self._drop_shed(victims)
+        self.queue.push(request)
         for batch in self.batcher.poll(self.queue, request.arrival_s):
             self._replay_last_completion = max(
                 self._replay_last_completion, self._dispatch(batch, metrics)
@@ -762,6 +887,7 @@ class Server:
             stage_plan_cache=self.cluster.layout.plan_cache_stats,
             cost_cache=self.cluster.cost_cache_stats,
             availability=self.cluster.faults.availability(horizon),
+            overload=self.flow.overload(),
         )
         return ServeReport(
             label=label,
@@ -819,6 +945,7 @@ class Server:
         self.queue = self._make_queue()
         self.batcher = self._make_batcher()
         self.cluster.reset_serving_state()
+        self.flow.reset()
         self._flusher = loop.create_task(self._flush_loop())
         return self
 
@@ -831,6 +958,7 @@ class Server:
         kind: RequestKind | str,
         items: int = 1,
         model: str | None = None,
+        deadline_s: float | None = None,
     ) -> RequestOutcome:
         """Submit one request and await its outcome.
 
@@ -838,6 +966,14 @@ class Server:
         drive the batcher's flush decisions) while service times come from
         the simulated cluster — the awaited outcome reports the modeled
         completion, it does not sleep for it.
+
+        ``deadline_s`` is a relative latency budget; a request still
+        queued past it is dropped and this call raises
+        :class:`~repro.flow.DeadlineExceededError`.  With admission
+        control installed a rejected submission raises
+        :class:`~repro.flow.RequestRejectedError` immediately, and a
+        queued submission shed later fails its await with the same error —
+        a caller never hangs on dropped work.
         """
         if self._async_metrics is None:
             raise RuntimeError(
@@ -853,10 +989,20 @@ class Server:
         loop = asyncio.get_running_loop()
         now = loop.time() - self._async_epoch
         request = Request.make(
-            self._next_request_id(), tenant, kind, items, arrival_s=now, model=model
+            self._next_request_id(),
+            tenant,
+            kind,
+            items,
+            arrival_s=now,
+            model=model,
+            deadline_s=None if deadline_s is None else now + deadline_s,
         )
+        admitted, victims, reason = self.flow.try_admit(self.queue, request)
+        if not admitted:
+            raise self._reject(request, reason)
         future: asyncio.Future = loop.create_future()
         self._async_futures[request.request_id] = future
+        self._drop_shed(victims)
         self.queue.push(request)
         if self.queue.queued_items >= self.batch_capacity:
             try:
@@ -914,6 +1060,7 @@ class Server:
                         stage_plan_cache=self.cluster.layout.plan_cache_stats,
                         cost_cache=self.cluster.cost_cache_stats,
                         availability=self.cluster.faults.availability(horizon),
+                        overload=self.flow.overload(),
                     ),
                     outcomes=list(metrics.outcomes),
                 )

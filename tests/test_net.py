@@ -121,7 +121,12 @@ class TestFraming:
 class TestControlPayloads:
     def test_hello_welcome_roundtrip(self):
         assert protocol.decode_hello(protocol.encode_hello((1, 3, 2))) == (1, 2, 3)
-        assert protocol.decode_welcome(protocol.encode_welcome(1)) == 1
+        welcome = protocol.decode_welcome(protocol.encode_welcome(1))
+        assert welcome.version == 1 and welcome.credit_window is None
+        # The credit-window form is 2 bytes longer; the bare form stays 1 byte.
+        assert len(protocol.encode_welcome(1)) == 1
+        windowed = protocol.decode_welcome(protocol.encode_welcome(1, credit_window=32))
+        assert windowed.version == 1 and windowed.credit_window == 32
         with pytest.raises(ValueError):
             protocol.encode_hello(())
         with pytest.raises(ValueError):
