@@ -120,6 +120,7 @@ class CircuitBreaker:
         self._failures = 0
         self._opened_at_s: float | None = None
         self._probing = False
+        self._probe_started_s = 0.0
         #: Times the breaker tripped open (monotone counter, for reports).
         self.trips = 0
 
@@ -134,7 +135,11 @@ class CircuitBreaker:
         """Gate a call at time ``now_s``.
 
         Raises :class:`CircuitOpenError` while open; silently admits the
-        single half-open probe once the cool-down has elapsed.
+        single half-open probe once the cool-down has elapsed.  A probe
+        that never reported a verdict (its caller was cancelled, or died
+        of an error the retry loop does not route back) expires after
+        another ``reset_timeout_s``, so an abandoned probe cannot latch
+        the breaker half-open forever.
         """
         if self._opened_at_s is None:
             return
@@ -146,11 +151,27 @@ class CircuitBreaker:
                 retry_in_s=self.reset_timeout_s - elapsed,
             )
         if self._probing:
-            raise CircuitOpenError(
-                "circuit breaker is half-open and its probe is in flight",
-                retry_in_s=self.reset_timeout_s,
-            )
+            probe_age = now_s - self._probe_started_s
+            if probe_age < self.reset_timeout_s:
+                raise CircuitOpenError(
+                    "circuit breaker is half-open and its probe is in flight",
+                    retry_in_s=self.reset_timeout_s - probe_age,
+                )
+            # The outstanding probe is stale — treat it as abandoned and
+            # let this call become the new probe.
         self._probing = True
+        self._probe_started_s = now_s
+
+    def abort_probe(self) -> None:
+        """A gated call ended without a verdict — release the probe slot.
+
+        For failures the breaker should not count (the caller was
+        cancelled, or hit an error that is not the server's overload
+        signal): the circuit returns to open with its cool-down clock
+        untouched instead of staying half-open behind a probe that will
+        never report back.  A no-op while the circuit is closed.
+        """
+        self._probing = False
 
     def record_success(self) -> None:
         """A gated call completed — close the circuit."""

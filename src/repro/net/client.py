@@ -93,6 +93,12 @@ class AsyncNetClient:
         self._credit_free.set()
         #: Times a ``submit`` had to park waiting for a credit.
         self.credit_stalls = 0
+        #: Last credit count the server piggy-backed on a RESULT frame
+        #: (``None`` until one arrives).  The local window never drifts
+        #: from the server's — a timed-out request keeps its credit until
+        #: the server's late reply lands — so this is the server's view
+        #: for introspection, not a correction signal.
+        self.server_credits: int | None = None
         #: BUSY replies received (shed work and exhausted windows).
         self.busy_replies = 0
         #: Re-sends performed by :meth:`submit_with_retry`.
@@ -142,13 +148,16 @@ class AsyncNetClient:
         ``deadline_s`` is a relative latency budget the server resolves
         against the arrival it stamps (expired work earns a typed
         ``DEADLINE_EXCEEDED`` error, never a silent drop).  ``timeout_s``
-        bounds *this* call client-side: past it the wait is abandoned with
+        bounds *this* call client-side — including any wait for a credit —
+        past it the call is abandoned with
         :class:`~repro.flow.retry.RequestTimeoutError` while the server may
-        still finish the work.  When the server advertised a credit window,
-        a submit past it parks here until a RESULT frees a credit (counted
-        in :attr:`credit_stalls`) instead of earning a BUSY round trip.
+        still finish the work; the abandoned request keeps its credit until
+        the server's (late) reply arrives, so the client's window never
+        drifts from the server's.  When the server advertised a credit
+        window, a submit past it parks here until a reply frees a credit
+        (counted in :attr:`credit_stalls`) instead of earning a BUSY round
+        trip.
         """
-        await self._acquire_credit()
         self._next_id += 1
         request = Request.make(self._next_id, tenant, kind, items, model=model)
         payload = codec.encode_submit(
@@ -160,34 +169,50 @@ class AsyncNetClient:
             ciphertexts=ciphertexts,
             deadline_s=deadline_s,
         )
+        if timeout_s is None:
+            return await self._deliver(request, payload)
+        try:
+            return await asyncio.wait_for(self._deliver(request, payload), timeout_s)
+        except asyncio.TimeoutError:
+            raise RequestTimeoutError(
+                f"request {request.request_id} timed out after {timeout_s}s "
+                "waiting for its RESULT"
+            ) from None
+
+    async def _deliver(self, request: Request, payload: bytes) -> RequestOutcome:
+        """Acquire a credit, send the SUBMIT frame, await the RESULT.
+
+        Cancellation (how :meth:`submit`'s per-request timeout lands here)
+        is credit-exact: before the frame hits the wire the registration is
+        unwound completely; after it, the pending entry stays and keeps its
+        credit until the server's reply arrives — the server still counts
+        the request in flight, so releasing early would let the two
+        windows drift apart and earn BUSY round trips later.
+        """
+        await self._acquire_credit()
         try:
             future = self._register(request, credited=True)
         except BaseException:
             self._release_credit(True)
             raise
+        data = protocol.encode_frame(MessageType.SUBMIT, payload)
+        sent = False
         try:
-            await self._send(MessageType.SUBMIT, payload)
+            async with self._write_lock:
+                self._write_raw(data)
+                sent = True
+                await self._writer.drain()
         except BaseException:
-            # The reader may have already failed (and released) the entry
-            # while we awaited the write; release only what we still own.
-            entry = self._pending.pop(request.request_id, None)
-            if entry is not None:
-                self._release_credit(entry[3])
+            if not sent:
+                # The frame never reached the wire, so no reply will ever
+                # release this entry — unwind it here.  (The reader may
+                # have already failed and released it while we awaited the
+                # lock; release only what we still own.)
+                entry = self._pending.pop(request.request_id, None)
+                if entry is not None:
+                    self._release_credit(entry[3])
             raise
-        if timeout_s is None:
-            return await future
-        try:
-            return await asyncio.wait_for(future, timeout_s)
-        except asyncio.TimeoutError:
-            # Abandon the wait; if the RESULT still lands later the reader
-            # finds no pending entry and drops it on the floor.
-            entry = self._pending.pop(request.request_id, None)
-            if entry is not None:
-                self._release_credit(entry[3])
-            raise RequestTimeoutError(
-                f"request {request.request_id} timed out after {timeout_s}s "
-                "waiting for its RESULT"
-            ) from None
+        return await future
 
     async def submit_with_retry(
         self,
@@ -236,6 +261,14 @@ class AsyncNetClient:
                 self.retries += 1
                 await asyncio.sleep(retry.delay_s(attempt, hint))
                 continue
+            except BaseException:
+                # Non-retryable failure (typed ERROR, connection loss,
+                # cancellation): the breaker neither counts it nor may it
+                # keep holding the half-open probe slot — an unreleased
+                # probe would latch every later check() open forever.
+                if breaker is not None:
+                    breaker.abort_probe()
+                raise
             if breaker is not None:
                 breaker.record_success()
             return outcome
@@ -406,11 +439,18 @@ class AsyncNetClient:
                 self._stats.set_result(protocol.decode_stats(frame.payload))
 
     def _handle_result(self, message: ResultMessage) -> None:
+        if message.credits is not None:
+            self.server_credits = message.credits
         entry = self._pending.pop(message.request_id, None)
         if entry is None:
             return
         request, sent_at, future, credited = entry
         self._release_credit(credited)
+        if future.cancelled():
+            # A timed-out submit abandoned this request but kept its
+            # credit held (the server still counted it in flight); this
+            # late reply is the release point, never an RTT sample.
+            return
         self.rtts_s.append(time.perf_counter() - sent_at)
         if not future.done():
             future.set_result(message.to_outcome(request))
@@ -479,6 +519,10 @@ class NetClient:
         self._next_id = 0
         self._next_nonce = 0
         self._closed = False
+        #: Request ids abandoned by a timed-out ``submit``; their late
+        #: RESULT/BUSY/ERROR frames are discarded on sight so a stale
+        #: reply is never returned as a *newer* request's outcome.
+        self._abandoned: set[int] = set()
         #: Round-trip seconds of every ``submit`` and ``ping`` call.
         self.rtts_s: list[float] = []
         self._timeout = timeout
@@ -520,8 +564,12 @@ class NetClient:
             self._sock.settimeout(timeout_s)
         try:
             self._send(MessageType.SUBMIT, payload)
-            frame = self._expect(MessageType.RESULT)
+            frame = self._expect(MessageType.RESULT, request_id=request.request_id)
         except socket.timeout:
+            # The server may still answer later; remember the id so the
+            # stale reply is discarded instead of desynchronizing the
+            # one-outstanding-request stream.
+            self._abandoned.add(request.request_id)
             raise RequestTimeoutError(
                 f"request {request.request_id} timed out after {timeout_s}s "
                 "waiting for its RESULT"
@@ -565,14 +613,35 @@ class NetClient:
     def _send(self, msg_type: MessageType, payload: bytes) -> None:
         self._sock.sendall(protocol.encode_frame(msg_type, payload))
 
-    def _expect(self, msg_type: MessageType) -> Frame:
+    def _expect(self, msg_type: MessageType, request_id: int | None = None) -> Frame:
+        """Read frames until the awaited reply arrives.
+
+        ``request_id`` correlates RESULT frames: a RESULT for any other id
+        belongs to a request a timed-out ``submit`` abandoned and is
+        discarded, never returned as the *current* call's outcome.  Late
+        BUSY/ERROR replies for abandoned ids are likewise dropped instead
+        of raising against the wrong request.
+        """
         while True:
             frame = self._next_frame()
             if frame.msg_type == MessageType.ERROR:
-                raise NetError(protocol.decode_error(frame.payload))
+                reply = protocol.decode_error(frame.payload)
+                if reply.request_id and reply.request_id in self._abandoned:
+                    self._abandoned.discard(reply.request_id)
+                    continue
+                raise NetError(reply)
             if frame.msg_type == MessageType.BUSY:
                 busy = protocol.decode_busy(frame.payload)
+                if busy.request_id in self._abandoned:
+                    self._abandoned.discard(busy.request_id)
+                    continue
                 raise ServerBusyError(busy.reason, retry_after_s=busy.retry_after_s)
+            if frame.msg_type == MessageType.RESULT:
+                result_id = codec.decode_result(frame.payload).request_id
+                if result_id != request_id:
+                    self._abandoned.discard(result_id)
+                    continue
+                return frame
             if frame.msg_type == msg_type:
                 return frame
             # Any other frame (e.g. a stray PONG) is skipped.

@@ -138,6 +138,12 @@ class NetServer:
         #: (a synchronous callback) and flushed as BUSY frames right after,
         #: so a client awaiting a dropped request gets an answer, not a hang.
         self._replay_drops: list[tuple[Request, str]] = []
+        #: Replay request id -> the connection that submitted it.  A later
+        #: connection's offer can release another connection's outcomes
+        #: (or shed its queued work); replies must reach the submitter,
+        #: not whoever's offer triggered them.  Entries are forgotten as
+        #: they are answered.
+        self._replay_owners: dict[int, _Connection] = {}
         self.stats = WireStats()
         #: Serving report of the last completed serve (set by :meth:`aclose`).
         self.last_report: ServeReport | None = None
@@ -333,15 +339,20 @@ class NetServer:
         if self.mode == "replay":
             if message.arrival_s is None:
                 raise ValueError("replay-mode SUBMIT frames must carry a trace timestamp")
+            self._replay_owners[message.request_id] = connection
             try:
                 outcomes = self.server.replay_offer(message.to_request())
             except RequestRejectedError as rejected:
+                self._replay_owners.pop(message.request_id, None)
                 await self._send_busy(
                     connection, message.request_id, rejected.retry_after_s, str(rejected)
                 )
                 outcomes = []
             for outcome in outcomes:
-                await self._send_result(connection, outcome.request.request_id, outcome)
+                request_id = outcome.request.request_id
+                await self._send_result(
+                    self._replay_owner(request_id, connection), request_id, outcome
+                )
             await self._flush_replay_drops(connection)
         else:
             if (
@@ -407,7 +418,10 @@ class NetServer:
     async def _handle_drain(self, connection: _Connection) -> None:
         if self.mode == "replay":
             for outcome in self.server.replay_drain():
-                await self._send_result(connection, outcome.request.request_id, outcome)
+                request_id = outcome.request.request_id
+                await self._send_result(
+                    self._replay_owner(request_id, connection), request_id, outcome
+                )
             await self._flush_replay_drops(connection)
         await self._send(connection, MessageType.DRAINED, b"")
 
@@ -426,6 +440,15 @@ class NetServer:
 
     # -- replies -----------------------------------------------------------------
 
+    def _replay_owner(self, request_id: int, fallback: _Connection) -> _Connection:
+        """The connection that submitted ``request_id`` (forgotten once used).
+
+        ``fallback`` covers requests that never went through a SUBMIT frame
+        on this server (there are none today, but an unknown id must not
+        crash the read loop).
+        """
+        return self._replay_owners.pop(request_id, fallback)
+
     def _on_replay_drop(self, request: Request, reason: str) -> None:
         """Collect a shed/expired replay request for a typed reply.
 
@@ -442,14 +465,18 @@ class NetServer:
         work earns a typed DEADLINE_EXCEEDED error — the same split the
         live path's :meth:`_submit_live` produces, so a client sees one
         vocabulary across both modes and never hangs on dropped work.
+        Each reply goes to the connection that *submitted* the victim —
+        a shed victim's offer may have come down a different connection
+        than the offer that triggered the shed.
         """
         if not self._replay_drops:
             return
         drops, self._replay_drops = self._replay_drops, []
         for request, reason in drops:
+            owner = self._replay_owner(request.request_id, connection)
             if reason == "expired":
                 await self._send_error(
-                    connection,
+                    owner,
                     ProtocolError(
                         ErrorCode.DEADLINE_EXCEEDED,
                         f"request {request.request_id} missed its deadline before dispatch",
@@ -458,7 +485,7 @@ class NetServer:
                 )
             else:
                 await self._send_busy(
-                    connection,
+                    owner,
                     request.request_id,
                     self.server.flow.retry_after_s(
                         self.server.queue, self.server.config.max_batch_delay_s

@@ -149,6 +149,21 @@ class RequestQueue:
         """
         if self.capacity is not None and self._depth >= self.capacity:
             raise QueueOverflowError(self.capacity, request.tenant)
+        self._append(request)
+
+    def stage(self, request: Request) -> None:
+        """Enqueue bypassing the capacity bound (the sync staging path).
+
+        ``capacity`` bounds the *runtime* queue depth — how much work may
+        wait concurrently while serving.  Sync ``Server.submit`` merely
+        stages a trace for a later ``simulate`` pass, which re-pushes
+        every request through the bounded runtime queue inside its
+        arrival loop; bounding the staging buffer too would cap the total
+        trace length, not the instantaneous depth.
+        """
+        self._append(request)
+
+    def _append(self, request: Request) -> None:
         self._by_tenant.setdefault(request.tenant, deque()).append(
             (self._sequence, request)
         )

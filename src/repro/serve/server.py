@@ -633,7 +633,9 @@ class Server:
             model=model,
             deadline_s=None if deadline_s is None else arrival + deadline_s,
         )
-        self.queue.push(request)
+        # Staged, not pushed: the queue's capacity bound applies to runtime
+        # depth inside simulate()'s arrival loop, not to trace length.
+        self.queue.stage(request)
         return request
 
     def _next_request_id(self) -> int:

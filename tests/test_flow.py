@@ -171,6 +171,24 @@ class TestBoundedQueue:
         governed = overloaded_server("reject-newest")
         assert governed.queue.capacity is None  # the policy is the bound
 
+    def test_sync_staging_is_not_bounded_by_capacity(self):
+        # capacity bounds the *runtime* queue depth; sync submit() only
+        # stages a trace, so a long trace whose instantaneous depth never
+        # exceeds the bound must simulate cleanly.
+        server = Server(devices=1, queue_capacity=2)
+        for index in range(8):
+            server.submit("t0", "bootstrap", at=index * 0.1)
+        report = server.simulate(label="staged")
+        assert report.metrics.requests == 8
+
+    def test_runtime_overflow_is_still_loud(self):
+        server = Server(
+            devices=1, queue_capacity=2, batch_capacity=64, max_batch_delay_s=1.0
+        )
+        trace = [make_request(rid, arrival_s=0.0) for rid in (1, 2, 3)]
+        with pytest.raises(QueueOverflowError, match="admission"):
+            server.simulate(trace, label="burst")
+
 
 # -- deadlines ----------------------------------------------------------------------
 
@@ -330,6 +348,31 @@ class TestRetryPrimitives:
         breaker.record_success()
         assert breaker.state == "closed"
 
+    def test_breaker_abort_probe_releases_the_slot(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0)
+        breaker.record_failure(0.0)
+        breaker.check(1.5)  # probe admitted
+        assert breaker.state == "half-open"
+        breaker.abort_probe()  # the probe died without a verdict
+        assert breaker.state == "open"
+        breaker.check(1.6)  # a fresh probe is admitted immediately
+        assert breaker.state == "half-open"
+
+    def test_breaker_expires_a_stale_probe(self):
+        # A probe whose caller never reports back (cancelled, or a
+        # non-retryable failure path) must not latch the breaker
+        # half-open forever.
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0)
+        breaker.record_failure(0.0)
+        breaker.check(1.5)  # probe admitted, then abandoned
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.check(2.0)  # probe still fresh: fail fast
+        assert excinfo.value.retry_in_s == pytest.approx(0.5)
+        breaker.check(2.6)  # stale probe expired: a new probe goes through
+        assert breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
 
 # -- the wire leg -------------------------------------------------------------------
 
@@ -428,6 +471,65 @@ class TestNetOverload:
 
         asyncio.run(scenario())
 
+    def test_timed_out_submit_holds_its_credit_until_the_late_reply(self):
+        async def scenario():
+            async with NetServer(
+                mode="live", devices=1, credit_window=1,
+                batch_capacity=64, max_batch_delay_s=0.3,
+            ) as net:
+                host, port = net.address
+                client = await AsyncNetClient.connect(host, port)
+                try:
+                    with pytest.raises(RequestTimeoutError):
+                        await client.submit("t0", "bootstrap", timeout_s=0.01)
+                    # The server still counts the request in flight, so
+                    # the abandoned submit keeps its credit ...
+                    assert client._inflight == 1
+                    for _ in range(250):
+                        if client._inflight == 0:
+                            break
+                        await asyncio.sleep(0.02)
+                    # ... until the late RESULT releases it — windows in
+                    # sync again, and no RTT sample for abandoned work.
+                    assert client._inflight == 0
+                    assert client.rtts_s == []
+                    assert client.server_credits == 1
+                    outcome = await client.submit("t0", "bootstrap", timeout_s=5.0)
+                    assert outcome.completed_s >= 0.0
+                finally:
+                    await client.close()
+
+        asyncio.run(scenario())
+
+    def test_replay_drops_route_to_the_submitting_connection(self):
+        # A shed victim may have been submitted by a *different*
+        # connection than the offer that triggered the shed; its BUSY
+        # must reach the submitter or that client hangs forever.
+        async def scenario():
+            async with NetServer(
+                mode="replay", devices=1, admission="shed-oldest",
+                queue_capacity=1, seed=0,
+            ) as net:
+                host, port = net.address
+                first_conn = await AsyncNetClient.connect(host, port)
+                second_conn = await AsyncNetClient.connect(host, port)
+                try:
+                    victim = first_conn.submit_nowait(make_request(1, arrival_s=0.0))
+                    await asyncio.sleep(0.05)  # let the server ingest it first
+                    survivor = second_conn.submit_nowait(
+                        make_request(2, arrival_s=1e-4)
+                    )
+                    with pytest.raises(ServerBusyError):
+                        await asyncio.wait_for(victim, timeout=2.0)
+                    await second_conn.drain()
+                    outcome = await asyncio.wait_for(survivor, timeout=2.0)
+                    assert outcome.request.request_id == 2
+                finally:
+                    await first_conn.close()
+                    await second_conn.close()
+
+        asyncio.run(scenario())
+
     def test_submit_with_retry_recovers_after_busy(self):
         async def scenario():
             async with NetServer(
@@ -480,6 +582,32 @@ class TestNetOverload:
 
         asyncio.run(scenario())
 
+    def test_retry_loop_releases_the_probe_on_nonretryable_failure(self):
+        # A half-open probe that dies of an error the retry loop does not
+        # count (connection loss, typed ERROR) must release its slot, or
+        # every later check() raises CircuitOpenError forever.
+        async def scenario():
+            async with NetServer(mode="live", devices=1) as net:
+                host, port = net.address
+                client = await AsyncNetClient.connect(host, port)
+                try:
+                    async def wire_died(*args, **kwargs):
+                        raise ConnectionError("wire died")
+
+                    client.submit = wire_died
+                    breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=0.0)
+                    breaker.record_failure(0.0)  # open; cool-down is instant
+                    for _ in range(3):
+                        with pytest.raises(ConnectionError):
+                            await client.submit_with_retry(
+                                "t0", "bootstrap", breaker=breaker
+                            )
+                        assert breaker.state != "half-open"  # slot released
+                finally:
+                    await client.close()
+
+        asyncio.run(scenario())
+
     def test_closed_loop_with_retry_counts_overload(self):
         trace = steady_trace(rate_rps=300.0, duration_s=0.05, seed=5)
         report = asyncio.run(
@@ -523,6 +651,58 @@ class TestNetOverload:
                 assert client.credit_window == 3
                 outcome = client.submit("t0", "bootstrap", timeout_s=5.0)
                 assert outcome.completed_s >= 0.0
+        finally:
+            done.set()
+            thread.join(5.0)
+
+    def test_sync_expect_discards_stale_replies(self):
+        # A timed-out submit's late RESULT/BUSY stays in the stream; the
+        # next call must discard it instead of returning it as its own
+        # outcome (the stream would desynchronize forever otherwise).
+        from repro.net import codec
+        from repro.net.client import NetClient
+        from repro.net.protocol import Frame, MessageType
+
+        client = NetClient.__new__(NetClient)
+        client._abandoned = {1, 2}
+        client._frames = [
+            Frame(1, MessageType.RESULT, codec.encode_result(1, 0, 0, 0.0, 0.0, 0.0)),
+            Frame(1, MessageType.BUSY, protocol.encode_busy(2, 0.1, "late shed")),
+            Frame(1, MessageType.RESULT, codec.encode_result(3, 0, 0, 0.0, 0.0, 0.1)),
+        ]
+        frame = client._expect(MessageType.RESULT, request_id=3)
+        assert codec.decode_result(frame.payload).request_id == 3
+        assert client._abandoned == set()
+
+    def test_sync_timeout_does_not_desynchronize_the_stream(self):
+        import threading
+
+        from repro.net import NetClient
+
+        results: dict[str, object] = {}
+        ready, done = threading.Event(), threading.Event()
+
+        async def serve():
+            async with NetServer(
+                mode="live", devices=1, batch_capacity=64, max_batch_delay_s=0.15
+            ) as net:
+                results["address"] = net.address
+                ready.set()
+                await asyncio.get_running_loop().run_in_executor(None, done.wait)
+
+        thread = threading.Thread(target=lambda: asyncio.run(serve()), daemon=True)
+        thread.start()
+        assert ready.wait(5.0)
+        try:
+            host, port = results["address"]
+            with NetClient(host, port) as client:
+                with pytest.raises(RequestTimeoutError):
+                    client.submit("t0", "bootstrap", timeout_s=0.01)
+                # The second submit skips request 1's late RESULT and
+                # returns its own, not the stale frame.
+                outcome = client.submit("t0", "bootstrap", timeout_s=5.0)
+                assert outcome.request.request_id == 2
+                assert client._abandoned == set()  # the stale reply was eaten
         finally:
             done.set()
             thread.join(5.0)
